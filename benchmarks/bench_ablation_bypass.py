@@ -1,0 +1,77 @@
+"""Ablation — CNAME-chain vs. names-hierarchy local-cache bypass.
+
+Both §IV-B2 techniques defeat browser/OS caches and count caches at a
+CDE nameserver; they differ in zone footprint and in *where* the count
+appears: the CNAME chain counts target fetches at the base nameserver
+(needs minimal responses), the hierarchy counts referral fetches at the
+parent (needs a delegated subzone per experiment, but no special response
+mode).  The bench compares their accuracy and query amplification through
+the same browser clients, plus the no-bypass baseline.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core import (
+    CnameChainBypass,
+    NamesHierarchyBypass,
+    queries_for_confidence,
+)
+from repro.study import build_world, format_table
+
+CACHE_COUNTS = (2, 4, 8)
+REPEATS = 5
+
+
+def no_bypass_baseline(world, prober, q):
+    """Repeat one hostname q times through the browser (what a naive
+    indirect study would do)."""
+    probe = world.cde.unique_name("nobypass")
+    since = world.clock.now
+    prober.trigger([probe] * q)
+    return world.cde.count_queries_for(probe, since=since)
+
+
+def test_ablation_bypass_techniques(benchmark):
+    def workload():
+        world = build_world(seed=951, lossy_platforms=False)
+        results = {}
+        for n in CACHE_COUNTS:
+            budget = queries_for_confidence(n, 0.999)
+            per_technique = {"cname-chain": [], "names-hierarchy": [],
+                             "no-bypass": []}
+            for _ in range(REPEATS):
+                hosted = world.add_platform(n_ingress=1, n_caches=n,
+                                            n_egress=1)
+                per_technique["cname-chain"].append(
+                    CnameChainBypass(world.cde).run(
+                        world.make_browser_prober(hosted), budget).arrivals)
+                per_technique["names-hierarchy"].append(
+                    NamesHierarchyBypass(world.cde).run(
+                        world.make_browser_prober(hosted), budget).arrivals)
+                per_technique["no-bypass"].append(no_bypass_baseline(
+                    world, world.make_browser_prober(hosted), budget))
+            results[n] = {technique: statistics.mean(values)
+                          for technique, values in per_technique.items()}
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = []
+    for n, per_technique in results.items():
+        rows.append((n,
+                     f"{per_technique['cname-chain']:.1f}",
+                     f"{per_technique['names-hierarchy']:.1f}",
+                     f"{per_technique['no-bypass']:.1f}"))
+    print()
+    print(format_table(
+        ["n caches (truth)", "cname-chain", "names-hierarchy", "no-bypass"],
+        rows, title="Ablation — local-cache bypass techniques via browsers"))
+
+    for n, per_technique in results.items():
+        # Both bypasses count exactly.
+        assert per_technique["cname-chain"] == n
+        assert per_technique["names-hierarchy"] == n
+        # The naive repeat sees exactly one cache, whatever the truth:
+        # the browser/OS caches absorb every repeat after the first.
+        assert per_technique["no-bypass"] == 1.0

@@ -1,0 +1,68 @@
+"""Analysis A1 (Theorem 5.1) — E[X] = n·H_n coupon-collector cost.
+
+The bench measures, on live platforms with uniform cache selection, the
+empirical mean number of queries until every cache has been probed, and
+prints it against the paper's closed form n·H_n and its asymptotic
+n·log n + γn + 1/2.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core import (
+    expected_queries_asymptotic,
+    expected_queries_coupon,
+)
+from repro.study import build_world, format_table
+
+CACHE_COUNTS = (1, 2, 4, 8, 16)
+TRIALS = 30
+
+
+def measure_cover_cost(world, hosted, trials):
+    """Queries until the direct technique has seen every cache, repeated."""
+    ingress = hosted.platform.ingress_ips[0]
+    n = hosted.spec.n_caches
+    costs = []
+    for _ in range(trials):
+        probe = world.cde.unique_name("coupon")
+        since = world.clock.now
+        queries = 0
+        while world.cde.count_queries_for(probe, since=since) < n:
+            world.prober.probe(ingress, probe)
+            queries += 1
+        costs.append(queries)
+    return costs
+
+
+def test_coupon_collector_cost(benchmark):
+    def workload():
+        world = build_world(seed=901, lossy_platforms=False)
+        results = {}
+        for n in CACHE_COUNTS:
+            hosted = world.add_platform(n_ingress=1, n_caches=n, n_egress=1)
+            results[n] = measure_cover_cost(world, hosted, TRIALS)
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = []
+    for n, costs in results.items():
+        mean = statistics.mean(costs)
+        rows.append((n, f"{mean:.1f}",
+                     f"{expected_queries_coupon(n):.1f}",
+                     f"{expected_queries_asymptotic(n):.1f}"))
+    print()
+    print(format_table(
+        ["n caches", "measured E[X]", "n*H_n (Thm 5.1)", "n ln n + gn + 1/2"],
+        rows, title="A1 — queries to probe all caches (uniform selection, "
+                    f"{TRIALS} trials)"))
+
+    for n, costs in results.items():
+        mean = statistics.mean(costs)
+        expected = expected_queries_coupon(n)
+        assert abs(mean - expected) <= max(2.0, 0.35 * expected), \
+            f"n={n}: measured {mean} vs theory {expected}"
+    # Superlinear growth: cost/n grows with n (the log n factor).
+    per_cache = [statistics.mean(results[n]) / n for n in CACHE_COUNTS]
+    assert per_cache[-1] > per_cache[0]

@@ -1,0 +1,122 @@
+"""Analysis A2 (§V-B) — init/validate coverage and success rate.
+
+Paper formulas, for N seeds over n caches with uniform selection:
+
+* the expected fraction of caches *not* covered by a phase of N probes is
+  roughly ``e^{−N/n}`` ("only a small fraction of caches may be missed
+  with N = 2·n");
+* the expected success rate is ``N·(1 − e^{−N/n})²``, which
+  "asymptotically reaches N" as N/n grows.  The squared factor counts a
+  seed as successful when *both* phases' placements land on covered
+  caches — each phase independently covers a cache with probability
+  ``1 − e^{−N/n}``.
+
+The bench Monte-Carlos both quantities on the abstract selection model and
+then runs the *live* two-phase protocol on a platform to show the
+cache-count estimator n̂ = N/(N−V) converging to the truth.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.core import (
+    coverage_fraction,
+    enumerate_two_phase,
+    expected_uncovered,
+    init_validate_success,
+)
+from repro.study import build_world, format_table
+
+N_CACHES = 4
+RATIOS = (1, 2, 4, 8)
+TRIALS = 400
+
+
+def simulate_two_phase(n, seeds, rng):
+    """One run of the abstract model; returns (uncovered, successful)."""
+    init_placement = [rng.randrange(n) for _ in range(seeds)]
+    validate_placement = [rng.randrange(n) for _ in range(seeds)]
+    covered_by_init = set(init_placement)
+    covered_by_validate = set(validate_placement)
+    uncovered = n - len(covered_by_init)
+    successes = sum(
+        1 for index in range(seeds)
+        if init_placement[index] in covered_by_validate
+        and validate_placement[index] in covered_by_init
+    )
+    return uncovered, successes
+
+
+def test_init_validate_formulas(benchmark):
+    def workload():
+        rng = random.Random(902)
+        results = {}
+        for ratio in RATIOS:
+            seeds = ratio * N_CACHES
+            uncovered_total = 0
+            success_total = 0
+            for _ in range(TRIALS):
+                uncovered, successes = simulate_two_phase(N_CACHES, seeds, rng)
+                uncovered_total += uncovered
+                success_total += successes
+            results[ratio] = (seeds, uncovered_total / TRIALS,
+                              success_total / TRIALS)
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = []
+    for ratio, (seeds, mean_uncovered, mean_success) in results.items():
+        rows.append((
+            f"{ratio}x", seeds,
+            f"{mean_uncovered:.2f}",
+            f"{expected_uncovered(seeds, N_CACHES):.2f}",
+            f"{mean_success:.1f}",
+            f"{init_validate_success(seeds, N_CACHES):.1f}",
+        ))
+    print()
+    print(format_table(
+        ["N/n", "N", "uncovered (sim)", "n*e^-N/n (paper)",
+         "successes (sim)", "N*(1-e^-N/n)^2 (paper)"],
+        rows, title=f"A2 — init/validate over n={N_CACHES} caches, "
+                    f"{TRIALS} trials"))
+
+    for ratio, (seeds, mean_uncovered, mean_success) in results.items():
+        assert abs(mean_uncovered -
+                   expected_uncovered(seeds, N_CACHES)) < 0.5
+        paper_success = init_validate_success(seeds, N_CACHES)
+        assert abs(mean_success - paper_success) <= max(1.0,
+                                                        0.15 * paper_success)
+    # Success fraction rises towards 1 (the paper's asymptote).
+    fractions = [results[r][2] / results[r][0] for r in RATIOS]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 0.9
+
+    # Coverage at N = 2n: only a small fraction missed (paper's rule).
+    assert coverage_fraction(2 * N_CACHES, N_CACHES) > 0.85
+
+
+def test_live_two_phase_estimator(benchmark):
+    """The live protocol's n̂ = N/(N−V) converges on the true cache count."""
+
+    def workload():
+        world = build_world(seed=903, lossy_platforms=False)
+        hosted = world.add_platform(n_ingress=1, n_caches=N_CACHES,
+                                    n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        estimates = {}
+        for seeds in (8, 32, 128):
+            runs = [enumerate_two_phase(world.cde, world.prober, ingress,
+                                        seeds=seeds).estimate.estimate
+                    for _ in range(6)]
+            estimates[seeds] = sum(runs) / len(runs)
+        return estimates
+
+    estimates = run_once(benchmark, workload)
+    rows = [(seeds, f"{value:.2f}", N_CACHES)
+            for seeds, value in estimates.items()]
+    print()
+    print(format_table(["N seeds", "mean n-hat", "truth"], rows,
+                       title="A2b — live init/validate estimator"))
+    assert abs(estimates[128] - N_CACHES) < 1.0
+    assert abs(estimates[128] - N_CACHES) <= abs(estimates[8] - N_CACHES) + 0.5

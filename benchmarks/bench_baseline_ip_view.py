@@ -1,0 +1,69 @@
+"""Baseline comparison — IP-level device census vs. the CDE cache census.
+
+The paper's conceptual claim (§I, §VI): "studies on DNS resolution
+platforms measure devices with IP addresses but omit the hidden caches",
+and "the IP addresses expose little information about the internal
+configurations in DNS resolution platforms".
+
+This bench makes the claim quantitative: on identical platforms, the
+IP-level baseline's device count is compared against the CDE's measured
+cache count and the true cache count, across topologies where addresses
+under-state, match, and over-state the cache layer.
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    enumerate_adaptive,
+    ip_level_census,
+)
+from repro.study import build_world, format_table
+
+#: (label, n_ingress, n_caches, n_egress)
+TOPOLOGIES = [
+    ("1 addr, 1 cache (classic model)", 1, 1, 1),
+    ("many addrs, few caches", 8, 2, 12),
+    ("few addrs, many caches", 1, 8, 2),
+    ("balanced", 4, 4, 4),
+]
+
+
+def test_ip_view_vs_cache_view(benchmark):
+    def workload():
+        world = build_world(seed=971, lossy_platforms=False)
+        results = []
+        for label, n_ingress, n_caches, n_egress in TOPOLOGIES:
+            hosted = world.add_platform(n_ingress=n_ingress,
+                                        n_caches=n_caches,
+                                        n_egress=n_egress)
+            baseline = ip_level_census(world.cde, world.prober,
+                                       hosted.platform.ingress_ips)
+            cde = enumerate_adaptive(world.cde, world.prober,
+                                     hosted.platform.ingress_ips[0],
+                                     confidence=0.999)
+            results.append((label, baseline.device_count, cde.cache_count,
+                            n_caches))
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = [(label, devices, caches, truth)
+            for label, devices, caches, truth in results]
+    print()
+    print(format_table(
+        ["topology", "IP-view devices", "CDE caches", "true caches"],
+        rows, title="Baseline — what address-level studies see vs. the CDE"))
+
+    for label, devices, caches, truth in results:
+        # The CDE is right everywhere.
+        assert caches == truth, label
+    # The IP view misses hidden caches in the cache-heavy topology...
+    cache_heavy = dict((label, (devices, truth))
+                       for label, devices, _, truth in results)
+    devices, truth = cache_heavy["few addrs, many caches"]
+    assert devices < truth
+    # ...and over-states the cache layer in the address-heavy one.
+    devices, truth = cache_heavy["many addrs, few caches"]
+    assert devices > truth
+    # Only the degenerate classic model agrees.
+    devices, truth = cache_heavy["1 addr, 1 cache (classic model)"]
+    assert devices - 0 <= 2 and truth == 1

@@ -1,0 +1,152 @@
+"""Analysis A3 (§V) — packet loss and carpet bombing.
+
+Paper: "Highest packet loss was measured in Iran with 11%, China almost
+4%; the rest networks exhibited around 1% [...] to cope with packet loss
+we use a statistical approach we dub carpet bombing [...] instead of a
+single query we use K queries; such that the parameter K is a function of
+a packet loss in the measured network."
+
+The bench enumerates identical multi-cache platforms behind the three
+loss regimes, with and without carpet bombing, and prints the measured
+loss, the chosen K, and the census accuracy for each.
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    CarpetProber,
+    DirectProber,
+    carpet_k,
+    enumerate_direct,
+    estimate_loss,
+    queries_for_confidence,
+)
+from repro.study import build_world, format_table
+
+N_CACHES = 4
+COUNTRIES = ("default", "CN", "IR")
+REPEATS = 5
+
+
+def census(world, prober, ingress, q):
+    return enumerate_direct(world.cde, prober, ingress, q=q).arrivals
+
+
+def test_carpet_bombing_restores_census(benchmark):
+    def workload():
+        world = build_world(seed=911, lossy_platforms=True)
+        budget = queries_for_confidence(N_CACHES, 0.99)
+        results = {}
+        for country in COUNTRIES:
+            hosted = world.add_platform(n_ingress=1, n_caches=N_CACHES,
+                                        n_egress=1, country=country)
+            ingress = hosted.platform.ingress_ips[0]
+            loss = estimate_loss(world.prober, ingress,
+                                 world.cde.unique_name("loss"), probes=300)
+            k = carpet_k(loss.rate, 0.99)
+            # Naive = single UDP datagram per probe, no retransmission.
+            naive_prober = DirectProber(world.prober_ip, world.network,
+                                        rng=world.rng_factory.stream("naive"),
+                                        retries=0)
+            carpet = CarpetProber(world.prober, k)
+            naive = [census(world, naive_prober, ingress, budget)
+                     for _ in range(REPEATS)]
+            carpeted = [census(world, carpet, ingress, budget)
+                        for _ in range(REPEATS)]
+            results[country] = (loss.rate, k, naive, carpeted)
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = []
+    for country, (rate, k, naive, carpeted) in results.items():
+        rows.append((
+            country, f"{rate:.1%}", k,
+            f"{sum(naive) / len(naive):.1f}",
+            f"{sum(carpeted) / len(carpeted):.1f}",
+            N_CACHES,
+        ))
+    print()
+    print(format_table(
+        ["country", "measured loss (RTT)", "K", "naive census",
+         "carpet census", "truth"],
+        rows, title="A3 — carpet bombing vs. per-country loss "
+                    "(paper: IR 11%, CN ~4%, rest ~1% one-way)"))
+
+    # Carpet census is exact everywhere, including Iran.
+    for country, (_, _, _, carpeted) in results.items():
+        assert all(count == N_CACHES for count in carpeted), country
+    # Loss ordering matches the paper: IR > CN > default.
+    assert results["IR"][0] > results["CN"][0] > results["default"][0]
+    # Iran needs a bigger carpet than a clean path.
+    assert results["IR"][1] >= 2
+    # Carpet never underperforms naive probing.
+    for country, (_, _, naive, carpeted) in results.items():
+        assert sum(carpeted) >= sum(naive)
+
+
+def test_carpet_with_minimal_budget(benchmark):
+    """Where carpet bombing visibly earns its keep: a round-robin platform
+    probed with exactly q = n queries (§V-B's minimal budget).  Every lost
+    probe is a missed cache for the naive prober; the carpet recovers it."""
+
+    def workload():
+        world = build_world(seed=912, lossy_platforms=True)
+        results = {}
+        for country in COUNTRIES:
+            hosted = world.add_platform(n_ingress=1, n_caches=N_CACHES,
+                                        n_egress=1, country=country,
+                                        selector="round-robin")
+            ingress = hosted.platform.ingress_ips[0]
+            loss = estimate_loss(world.prober, ingress,
+                                 world.cde.unique_name("loss"), probes=300)
+            k = carpet_k(loss.rate, 0.99)
+            naive_prober = DirectProber(
+                world.prober_ip, world.network,
+                rng=world.rng_factory.stream(f"naive-min/{country}"),
+                retries=0)
+            carpet = CarpetProber(naive_prober, k)
+            naive = [census(world, naive_prober, ingress, N_CACHES)
+                     for _ in range(12)]
+            carpeted = [census(world, carpet, ingress, N_CACHES)
+                        for _ in range(12)]
+            results[country] = (loss.rate, k,
+                                sum(naive) / len(naive),
+                                sum(carpeted) / len(carpeted))
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = [(country, f"{rate:.1%}", k, f"{naive:.2f}", f"{carpeted:.2f}",
+             N_CACHES)
+            for country, (rate, k, naive, carpeted) in results.items()]
+    print()
+    print(format_table(
+        ["country", "loss (RTT)", "K", "naive census (q=n)",
+         "carpet census (q=n)", "truth"],
+        rows, title="A3b — minimal-budget census, round-robin selection"))
+
+    # Under Iranian loss the naive q=n census visibly undercounts...
+    assert results["IR"][2] < N_CACHES - 0.3
+    # ...and the carpet substantially closes the gap.
+    for country, (_, _, naive, carpeted) in results.items():
+        assert carpeted >= naive
+    assert results["IR"][3] > results["IR"][2] + 0.3
+    assert results["IR"][3] > N_CACHES - 0.5
+
+
+def test_carpet_k_table(benchmark):
+    """The K(loss) sizing rule at the paper's measured rates."""
+
+    def workload():
+        return {rate: carpet_k(rate, 0.99)
+                for rate in (0.01, 0.04, 0.11, 0.21, 0.30)}
+
+    table = run_once(benchmark, workload)
+    rows = [(f"{rate:.0%}", k) for rate, k in table.items()]
+    print()
+    print(format_table(["loss rate", "K (99% delivery)"], rows,
+                       title="A3b — carpet sizing"))
+    assert table[0.01] == 1
+    assert table[0.04] == 2
+    assert table[0.11] == 3
+    ks = list(table.values())
+    assert ks == sorted(ks)

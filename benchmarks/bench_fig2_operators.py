@@ -1,0 +1,68 @@
+"""Figure 2 — distribution of network operators across the three datasets.
+
+The bench draws each population, aggregates the operator labels into the
+paper's top-10 + OTHER presentation, and checks that each dataset's
+heaviest named operator matches the paper's column leader.
+"""
+
+from conftest import run_once
+
+from repro.study import (
+    OPERATOR_TABLES,
+    build_world,
+    draw_operator,
+    format_table,
+    generate_population,
+    run_ad_collection,
+    top_n_table,
+)
+
+DRAWS = 1500
+
+
+def test_fig2_operator_distribution(benchmark):
+    def workload():
+        from repro.net import RngFactory
+
+        rng_factory = RngFactory(202)
+        tables = {}
+        for population in OPERATOR_TABLES:
+            rng = rng_factory.stream(f"fig2/{population}")
+            labels = [draw_operator(population, rng) for _ in range(DRAWS)]
+            tables[population] = top_n_table(labels, n=10)
+        return tables
+
+    tables = run_once(benchmark, workload)
+    for population, table in tables.items():
+        paper = OPERATOR_TABLES[population]
+        rows = [(label, f"{share:.2f}%",
+                 f"{paper.get(label, 0.0):.2f}%") for label, share in table]
+        print()
+        print(format_table(["Network Operator", "Measured", "Paper"], rows,
+                           title=f"Figure 2 — {population}"))
+
+        # The drawn column leader must be the paper's column leader.
+        paper_leader = max((item for item in paper.items()
+                            if item[0] != "OTHER"), key=lambda item: item[1])
+        measured_named = [item for item in table if item[0] != "OTHER"]
+        assert measured_named[0][0] == paper_leader[0]
+        # And its share must be within a few points of the paper's.
+        assert abs(measured_named[0][1] - paper_leader[1]) < 4.0
+
+
+def test_fig2_operators_survive_ad_collection(benchmark):
+    """The ad-network column is built from *completed* clients only; the
+    1:50 completion filter must not skew the operator mix."""
+
+    def workload():
+        world = build_world(seed=203, lossy_platforms=False)
+        specs = generate_population("ad-network", 30, seed=203,
+                                    max_ingress=3, max_caches=3, max_egress=6)
+        return run_ad_collection(world, specs, impressions=4000)
+
+    result = run_once(benchmark, workload)
+    print()
+    print(f"impressions={result.impressions} completed={result.completed} "
+          f"({100 * result.completion_rate:.1f}%; paper ~2%)")
+    assert result.completed > 20
+    assert 0.01 < result.completion_rate < 0.04

@@ -1,0 +1,86 @@
+"""§II-A quantified — cache poisoning difficulty vs. the cache count.
+
+Not a paper figure, but the paper's central security motivation: "Using
+multiple caches significantly increases the difficulty of cache
+poisoning."  The bench sweeps the cache count and prints, for a fixed
+off-path attacker, the closed-form and simulated success probability of a
+two-record injection plus the expected spoofed-traffic volume (the
+detection argument).
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.core import (
+    AttackerModel,
+    expected_spoofed_packets,
+    poison_campaign_probability,
+    simulate_campaign,
+)
+from repro.resolver import UniformRandomSelector
+from repro.study import format_table
+
+CACHE_COUNTS = (1, 2, 4, 8, 16)
+ATTEMPTS = 4000
+
+
+def test_poisoning_vs_cache_count(benchmark):
+    attacker = AttackerModel(spoofs_per_window=65536)  # race always won
+
+    def workload():
+        results = {}
+        for n in CACHE_COUNTS:
+            theory = poison_campaign_probability(n, 2, attacker, 1)
+            simulated = simulate_campaign(
+                n_caches=n,
+                selector=UniformRandomSelector(random.Random(n)),
+                attacker=attacker, attempts=ATTEMPTS, records_needed=2,
+                rng=random.Random(100 + n))
+            results[n] = (theory, simulated.success_rate)
+        return results
+
+    results = run_once(benchmark, workload)
+    weak_attacker = AttackerModel(spoofs_per_window=1000)
+    rows = []
+    for n, (theory, simulated) in results.items():
+        rows.append((n, f"{theory:.3f}", f"{simulated:.3f}",
+                     f"{expected_spoofed_packets(n, 2, weak_attacker):.2e}"))
+    print()
+    print(format_table(
+        ["caches", "P[success] theory", "simulated",
+         "expected spoofs (1k/window attacker)"],
+        rows, title="§II-A — two-record injection vs. cache count "
+                    "(uniform selection)"))
+
+    for n, (theory, simulated) in results.items():
+        assert abs(theory - simulated) < 0.03
+    # Each doubling of the cache pool halves per-attempt success.
+    assert results[16][0] == results[1][0] / 16
+
+
+def test_challenge_entropy_interaction(benchmark):
+    """Port randomisation and multiple caches compose multiplicatively."""
+
+    def workload():
+        rows = []
+        for port_bits, label in ((0, "fixed port"),
+                                 (16, "random port")):
+            for n in (1, 8):
+                attacker = AttackerModel(spoofs_per_window=10_000,
+                                         txid_bits=16, port_bits=port_bits)
+                probability = poison_campaign_probability(n, 2, attacker,
+                                                          attempts=1000)
+                rows.append((label, n, probability))
+        return rows
+
+    rows = run_once(benchmark, workload)
+    printable = [(label, n, f"{p:.2e}") for label, n, p in rows]
+    print()
+    print(format_table(["challenge", "caches", "P[success in 1k attempts]"],
+                       printable,
+                       title="§II-A — defence composition"))
+    by_key = {(label, n): p for label, n, p in rows}
+    assert by_key[("fixed port", 8)] < by_key[("fixed port", 1)]
+    assert by_key[("random port", 1)] < by_key[("fixed port", 1)] / 100
+    assert by_key[("random port", 8)] == min(by_key.values())

@@ -1,0 +1,89 @@
+"""Analysis A5 (§IV-A) — cache-selection strategies and enumeration cost.
+
+The paper distinguishes *traffic-dependent* (round robin, least-loaded)
+from *unpredictable* (random) selection, notes hash-based variants keyed on
+the query name or the client address, and reports that >80% of networks use
+unpredictable selection.  This bench measures, per strategy:
+
+* how many queries the direct technique needs before all caches are seen
+  (q = n for round robin vs. ~n·H_n for random, §V-B), and
+* what the census reports (hash-keyed strategies pin one probe source to
+  one cache — the measured count is per-name/per-client reach, not n).
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core import expected_queries_coupon
+from repro.study import build_world, format_table
+
+N_CACHES = 6
+TRIALS = 15
+STRATEGIES = ("round-robin", "least-loaded", "uniform-random",
+              "sticky-random", "qname-hash", "source-ip-hash")
+#: What a census can see through one name from one source, per strategy.
+FULL_VIEW = {"round-robin", "least-loaded", "uniform-random", "sticky-random"}
+
+
+def queries_until_stable(world, ingress, stable_for=250):
+    """Probe one fresh name until no new arrival for ``stable_for`` probes."""
+    probe = world.cde.unique_name("a5")
+    since = world.clock.now
+    queries = 0
+    last_new = 0
+    arrivals = 0
+    while queries - last_new < stable_for:
+        world.prober.probe(ingress, probe)
+        queries += 1
+        now_arrivals = world.cde.count_queries_for(probe, since=since)
+        if now_arrivals > arrivals:
+            arrivals = now_arrivals
+            last_new = queries
+    return arrivals, last_new or 1
+
+
+def test_selection_strategies(benchmark):
+    def workload():
+        world = build_world(seed=931, lossy_platforms=False)
+        results = {}
+        for strategy in STRATEGIES:
+            counts = []
+            costs = []
+            for trial in range(TRIALS):
+                hosted = world.add_platform(n_ingress=1, n_caches=N_CACHES,
+                                            n_egress=1, selector=strategy)
+                ingress = hosted.platform.ingress_ips[0]
+                arrivals, cost = queries_until_stable(world, ingress)
+                counts.append(arrivals)
+                costs.append(cost)
+            results[strategy] = (statistics.mean(counts),
+                                 statistics.mean(costs))
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = []
+    for strategy, (mean_count, mean_cost) in results.items():
+        rows.append((strategy, f"{mean_count:.1f}", N_CACHES,
+                     f"{mean_cost:.1f}"))
+    print()
+    print(format_table(
+        ["strategy", "census (mean)", "truth", "queries to full view"],
+        rows, title=f"A5 — selection strategies, {N_CACHES}-cache platforms "
+                    f"(paper: E[X]=n*H_n={expected_queries_coupon(N_CACHES):.1f} "
+                    f"for unpredictable)"))
+
+    # Full-view strategies: census equals the truth.
+    for strategy in FULL_VIEW:
+        assert results[strategy][0] == N_CACHES, strategy
+    # Hash-keyed strategies pin a single cache per name/source.
+    assert results["qname-hash"][0] == 1
+    assert results["source-ip-hash"][0] == 1
+
+    # Cost ordering: round robin needs exactly n; uniform random needs about
+    # n*H_n; sticky affinity costs more than plain random.
+    assert results["round-robin"][1] == N_CACHES
+    uniform_cost = results["uniform-random"][1]
+    expected = expected_queries_coupon(N_CACHES)
+    assert abs(uniform_cost - expected) < 0.6 * expected
+    assert results["sticky-random"][1] > results["round-robin"][1]

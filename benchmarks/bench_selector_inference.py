@@ -1,0 +1,67 @@
+"""§IV-A measured — "more than 80% of the networks in our dataset support
+unpredictable cache selection."
+
+The bench classifies every platform of a generated population with the
+selection-strategy inference (the paper's proposed future work, built in
+``repro.core.selector_inference``) and checks that the measured
+unpredictable share lands above the paper's 80% line, and that per-platform
+verdicts match ground truth.
+"""
+
+from conftest import run_once
+
+from repro.core import SelectorClass, infer_selector
+from repro.study import build_world, format_table, generate_population
+
+N_PLATFORMS = 40
+
+
+def test_unpredictable_share(benchmark):
+    def workload():
+        world = build_world(seed=981, lossy_platforms=False)
+        specs = generate_population("ad-network", N_PLATFORMS, seed=981,
+                                    max_ingress=4, max_caches=6,
+                                    max_egress=6)
+        verdicts = []
+        for spec in specs:
+            hosted = world.add_platform_from_spec(spec)
+            inference = infer_selector(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       n_hint=spec.n_caches,
+                                       determinism_trials=4)
+            verdicts.append((spec, inference))
+        return verdicts
+
+    verdicts = run_once(benchmark, workload)
+    counts: dict[str, int] = {}
+    correct = 0
+    judgeable = 0
+    for spec, inference in verdicts:
+        counts[inference.inferred.value] = \
+            counts.get(inference.inferred.value, 0) + 1
+        # Ground-truth comparison is only meaningful when the class is
+        # observably decidable (multi-cache, non-name-keyed).
+        if spec.n_caches > 1 and spec.selector_name != "qname-hash":
+            judgeable += 1
+            expected_unpredictable = spec.selector_unpredictable
+            if inference.inferred == SelectorClass.SOURCE_KEYED:
+                ok = spec.selector_name == "source-ip-hash"
+            else:
+                ok = inference.is_unpredictable == expected_unpredictable
+            correct += ok
+
+    rows = sorted(counts.items(), key=lambda item: -item[1])
+    print()
+    print(format_table(["inferred class", "platforms"], rows,
+                       title=f"§IV-A — selector classes across "
+                             f"{N_PLATFORMS} ISP platforms"))
+    multi = [(spec, inf) for spec, inf in verdicts if spec.n_caches > 1]
+    unpredictable = sum(1 for _, inf in multi if inf.is_unpredictable)
+    share = unpredictable / len(multi)
+    print(f"unpredictable share among multi-cache platforms: {share:.0%} "
+          f"(paper: >80%)")
+    print(f"classification accuracy where decidable: "
+          f"{correct}/{judgeable}")
+
+    assert share > 0.7
+    assert correct / judgeable > 0.9

@@ -1,0 +1,111 @@
+"""Analysis A4 (§IV-B3) — the indirect-egress timing side channel.
+
+Without any access to nameserver logs, the CDE counts caches from response
+latencies alone: calibrate a hit/miss classifier against a seeded honey
+record and fresh random-prefix names, then count miss-latency responses
+while probing a fresh name.
+
+The bench reports classifier separation, the latency-based census against
+ground truth across platform sizes, and its agreement with the log-based
+census on the same platforms.
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    calibrate_timing,
+    enumerate_by_timing,
+    enumerate_direct,
+    queries_for_confidence,
+)
+from repro.study import build_world, format_table
+
+CACHE_COUNTS = (1, 2, 4, 8)
+
+
+def test_timing_side_channel(benchmark):
+    def workload():
+        world = build_world(seed=921, lossy_platforms=False)
+        results = {}
+        for n in CACHE_COUNTS:
+            hosted = world.add_platform(n_ingress=1, n_caches=n, n_egress=2)
+            ingress = hosted.platform.ingress_ips[0]
+            calibration = calibrate_timing(world.cde, world.prober, ingress,
+                                           samples=20)
+            budget = queries_for_confidence(n, 0.999)
+            timing = enumerate_by_timing(world.cde, world.prober, ingress,
+                                         calibration=calibration,
+                                         probes=budget)
+            log_based = enumerate_direct(world.cde, world.prober, ingress,
+                                         q=budget)
+            results[n] = (calibration.classifier.separation,
+                          timing.miss_latency_count, log_based.arrivals)
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = [(n, f"{separation:.1f}", timing_count, log_count, n)
+            for n, (separation, timing_count, log_count) in results.items()]
+    print()
+    print(format_table(
+        ["n caches", "classifier separation", "timing census",
+         "log census", "truth"],
+        rows, title="A4 — cache counting from latency alone "
+                    "(no nameserver-log access)"))
+
+    for n, (separation, timing_count, log_count) in results.items():
+        assert separation > 1.0
+        assert timing_count == n
+        assert timing_count == log_count
+
+
+def test_timing_fully_indirect(benchmark):
+    """§IV-B3's indirect-ingress variant: the census through a *browser*,
+    with hierarchy-structured names, classified by unsupervised latency
+    splitting — no log access and no directly issued DNS query."""
+    from repro.core import enumerate_by_timing_indirect
+
+    def workload():
+        world = build_world(seed=923, lossy_platforms=False)
+        results = {}
+        for n in CACHE_COUNTS:
+            hosted = world.add_platform(n_ingress=1, n_caches=n, n_egress=1)
+            browser = world.make_browser(hosted)
+            budget = max(12, 2 * queries_for_confidence(n, 0.99))
+            outcome = enumerate_by_timing_indirect(world.cde, browser,
+                                                   q=budget)
+            results[n] = (outcome.slow_count, budget)
+        return results
+
+    results = run_once(benchmark, workload)
+    rows = [(n, slow, n, budget) for n, (slow, budget) in results.items()]
+    print()
+    print(format_table(["n caches", "slow fetches (census)", "truth",
+                        "fetches"],
+                       rows, title="A4b — fully indirect timing census "
+                                   "(browser + hierarchy names)"))
+    for n, (slow, _) in results.items():
+        assert slow == n
+
+
+def test_timing_hit_miss_latency_gap(benchmark):
+    """The raw channel: cached answers return faster than uncached ones,
+    because a miss adds the platform↔nameserver round trips."""
+    import statistics
+
+    def workload():
+        world = build_world(seed=922, lossy_platforms=False)
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        calibration = calibrate_timing(world.cde, world.prober, ingress,
+                                       samples=30)
+        return (calibration.classifier.hit_samples,
+                calibration.classifier.miss_samples)
+
+    hits, misses = run_once(benchmark, workload)
+    hit_median = statistics.median(hits)
+    miss_median = statistics.median(misses)
+    print()
+    print(f"median hit rtt:  {1000 * hit_median:.1f} ms")
+    print(f"median miss rtt: {1000 * miss_median:.1f} ms "
+          f"({miss_median / hit_median:.1f}x slower)")
+    assert miss_median > 1.5 * hit_median

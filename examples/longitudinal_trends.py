@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Longitudinal adoption & growth study (paper §I-B).
+
+"Our tools enable repetitive studies of the caches over periods of time.
+This allows to perform analyses of adoption of new mechanisms, trends,
+growth of the DNS resolution platforms and more."
+
+Ten platforms start without EDNS; between daily measurement rounds some
+operators enable EDNS and some grow their cache pools.  The CDE re-measures
+every round, and the trend tables show the measured curves tracking the
+(hidden) ground truth.
+
+Run:  python examples/longitudinal_trends.py
+"""
+
+from repro.study import EvolutionModel, TrendStudy, build_world, format_table
+
+N_PLATFORMS = 10
+ROUNDS = 6
+
+
+def main() -> None:
+    world = build_world(seed=2024)
+    platforms = []
+    for _ in range(N_PLATFORMS):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=2)
+        hosted.platform.config.edns_payload_size = None  # legacy start
+        platforms.append(hosted)
+
+    study = TrendStudy(
+        world, platforms,
+        EvolutionModel(edns_enable_probability=0.35,
+                       cache_growth_probability=0.3, max_caches=6),
+        interval=86_400.0,
+    )
+    rounds = study.run(rounds=ROUNDS)
+
+    rows = []
+    for index, round_ in enumerate(rounds):
+        rows.append((
+            f"day {index}",
+            f"{round_.measured_edns_adoption:.0%}",
+            f"{round_.true_edns_adoption:.0%}",
+            f"{round_.measured_mean_caches:.2f}",
+            f"{round_.true_mean_caches:.2f}",
+        ))
+    print(format_table(
+        ["round", "EDNS adoption (measured)", "(truth)",
+         "mean caches (measured)", "(truth)"],
+        rows,
+        title=f"Adoption & growth across {N_PLATFORMS} platforms, "
+              f"{ROUNDS} daily rounds"))
+
+    first, last = rounds[0], rounds[-1]
+    print()
+    print(f"EDNS adoption grew {first.measured_edns_adoption:.0%} -> "
+          f"{last.measured_edns_adoption:.0%}; "
+          f"mean cache pool grew {first.measured_mean_caches:.1f} -> "
+          f"{last.measured_mean_caches:.1f} — both measured entirely "
+          f"from the outside.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Open-resolver study (paper §III-A + §V-A, the Figure 5 population).
+
+Reproduces the paper's first data-collection channel end to end:
+
+1. generate candidate networks (the 'Alexa top-10K' stand-in), a mix of
+   open and closed resolution platforms;
+2. scan them — query each for a record in our domain, keep the ones that
+   answer openly (the paper kept the first 1K of the top 10K);
+3. run the direct CDE methodology against every open platform;
+4. print the ingress-IPs vs. caches bubble table (Figure 5) and the
+   single-IP/single-cache share (Figure 6's headline).
+
+Run:  python examples/open_resolver_study.py
+"""
+
+from repro.study import (
+    MeasurementBudget,
+    build_world,
+    bubble_counts,
+    format_bubbles,
+    generate_population,
+    measure_direct,
+    ratio_breakdown,
+    scan_for_open_resolvers,
+)
+
+N_CANDIDATES = 60
+
+
+def main() -> None:
+    world = build_world(seed=42)
+    specs = generate_population("open-resolvers", N_CANDIDATES, seed=42,
+                                max_ingress=100, max_caches=12, max_egress=12)
+
+    scan = scan_for_open_resolvers(world, specs, closed_fraction=0.4)
+    print(f"scanned {scan.candidates} candidate networks: "
+          f"{scan.open_count} open, {scan.refused} refused "
+          f"(the paper found 1K open among the Alexa top-10K)")
+
+    budget = MeasurementBudget(confidence=0.95, max_enumeration_queries=256)
+    rows = []
+    for hosted in scan.open_platforms:
+        measurement = measure_direct(world, hosted, budget)
+        rows.append(measurement)
+    exact = sum(1 for row in rows if row.measured_caches == row.true_caches)
+    print(f"measured {len(rows)} platforms; cache census exact on "
+          f"{exact}/{len(rows)} "
+          f"(misses are hash-keyed load balancers, §IV-A)")
+    print()
+
+    pairs = [row.ip_cache_pair for row in rows]
+    print(format_bubbles(bubble_counts(pairs),
+                         title="Figure 5 style — ingress IPs vs. measured "
+                               "caches (bubble = #networks)"))
+    print()
+
+    breakdown = ratio_breakdown(pairs)
+    print(f"1 IP / 1 cache platforms: "
+          f"{breakdown.single_ip_single_cache:.0%} "
+          f"(paper: almost 70% for open resolvers)")
+    egress_small = sum(1 for row in rows if row.measured_egress <= 5)
+    print(f"platforms with <=5 egress IPs: {egress_small / len(rows):.0%} "
+          f"(paper: 85%)")
+
+
+if __name__ == "__main__":
+    main()

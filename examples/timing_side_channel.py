@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Counting caches without touching nameserver logs (paper §IV-B3).
+
+Scenario from the paper: the measurer cannot (or must not) observe queries
+at an authoritative server — "if it is desirable not to 'leave traces' in
+the logs of a domain used for the tests".  The only instrument left is the
+response latency seen by the prober:
+
+1. seed a honey record into every cache (100 redundant queries),
+2. calibrate: cached answers are fast, fresh names are slow,
+3. probe a brand-new name repeatedly; every *slow* answer is a cache
+   seeing the name for the first time.  Count the slow answers.
+
+Run:  python examples/timing_side_channel.py
+"""
+
+import statistics
+
+from repro.core import calibrate_timing, enumerate_by_timing
+from repro.study import build_world
+
+
+def main() -> None:
+    world = build_world(seed=31337)
+    hosted = world.add_platform(n_ingress=1, n_caches=5, n_egress=2)
+    ingress = hosted.platform.ingress_ips[0]
+    print(f"target: {ingress} — number of caches hidden "
+          f"(truth: {hosted.platform.n_caches})")
+    print()
+
+    calibration = calibrate_timing(world.cde, world.prober, ingress,
+                                   samples=25)
+    classifier = calibration.classifier
+    hit_ms = 1000 * statistics.median(classifier.hit_samples)
+    miss_ms = 1000 * statistics.median(classifier.miss_samples)
+    print("calibration (latency side channel):")
+    print(f"  cached answers:   median {hit_ms:.1f} ms")
+    print(f"  uncached answers: median {miss_ms:.1f} ms "
+          f"({miss_ms / hit_ms:.1f}x slower)")
+    print(f"  threshold:        {1000 * classifier.threshold:.1f} ms "
+          f"(separation {classifier.separation:.1f})")
+    print()
+
+    result = enumerate_by_timing(world.cde, world.prober, ingress,
+                                 calibration=calibration, probes=60)
+    print(f"probed a fresh name {result.probes_sent} times:")
+    print(f"  miss-latency responses: {result.miss_latency_count}")
+    print(f"  -> cache count (no log access): {result.cache_count}")
+    assert result.cache_count == hosted.platform.n_caches
+    print("\nmatches ground truth — counted entirely in the dark.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e . --no-build-isolation`` work in
+offline environments whose setuptools/pip lack the ``wheel`` package
+required by PEP 660 editable builds."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""DNS cache substrate: entries, eviction policies, TTL semantics, profiles."""
+
+from .cache import DEFAULT_NEGATIVE_TTL_CAP, CacheStats, DnsCache
+from .entry import CacheEntry, EntryKind
+from .policy import (
+    POLICIES,
+    EvictionPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from .software import (
+    APPLIANCE_LIKE,
+    BIND9_LIKE,
+    PROFILES,
+    UNBOUND_LIKE,
+    WINDOWS_DNS_LIKE,
+    CacheSoftwareProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "APPLIANCE_LIKE", "BIND9_LIKE", "CacheEntry", "CacheSoftwareProfile",
+    "CacheStats", "DEFAULT_NEGATIVE_TTL_CAP", "DnsCache", "EntryKind",
+    "EvictionPolicy", "FifoPolicy", "LfuPolicy", "LruPolicy", "POLICIES",
+    "PROFILES", "RandomPolicy", "UNBOUND_LIKE", "WINDOWS_DNS_LIKE",
+    "make_policy", "profile_by_name",
+]

@@ -1,0 +1,89 @@
+"""Cache eviction policies.
+
+When a :class:`~repro.cache.cache.DnsCache` reaches capacity it asks its
+policy for a victim.  The paper notes that "different caches apply different
+logic for deciding which records to cache" (Section II-A) — one of the
+reasons multiple caches harden a platform against poisoning — so the policy
+is pluggable and a per-cache fingerprintable property.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Protocol
+
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+from .entry import CacheEntry
+
+Key = tuple[DnsName, RRType]
+
+
+class EvictionPolicy(Protocol):
+    name: str
+
+    def choose_victim(self, entries: Iterable[CacheEntry],
+                      rng: random.Random) -> Optional[Key]:
+        """The key to evict, or ``None`` when no candidate exists."""
+
+
+class LruPolicy:
+    """Evict the least recently used entry."""
+
+    name = "lru"
+
+    def choose_victim(self, entries: Iterable[CacheEntry],
+                      rng: random.Random) -> Optional[Key]:
+        victim = min(entries, key=lambda entry: entry.last_used, default=None)
+        return victim.key if victim else None
+
+
+class LfuPolicy:
+    """Evict the least frequently used entry (ties → older)."""
+
+    name = "lfu"
+
+    def choose_victim(self, entries: Iterable[CacheEntry],
+                      rng: random.Random) -> Optional[Key]:
+        victim = min(entries, key=lambda entry: (entry.hits, entry.stored_at),
+                     default=None)
+        return victim.key if victim else None
+
+
+class FifoPolicy:
+    """Evict the oldest entry regardless of use."""
+
+    name = "fifo"
+
+    def choose_victim(self, entries: Iterable[CacheEntry],
+                      rng: random.Random) -> Optional[Key]:
+        victim = min(entries, key=lambda entry: entry.stored_at, default=None)
+        return victim.key if victim else None
+
+
+class RandomPolicy:
+    """Evict a uniformly random entry."""
+
+    name = "random"
+
+    def choose_victim(self, entries: Iterable[CacheEntry],
+                      rng: random.Random) -> Optional[Key]:
+        pool = list(entries)
+        if not pool:
+            return None
+        return rng.choice(pool).key
+
+
+POLICIES: dict[str, type] = {
+    "lru": LruPolicy,
+    "lfu": LfuPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown eviction policy {name!r}") from None

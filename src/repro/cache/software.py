@@ -1,0 +1,101 @@
+"""Cache software profiles.
+
+The paper motivates cache discovery partly by software inventory: "Caches on
+DNS resolution platforms are often running different DNS software.  For
+distribution and integration of patches it is important to know which
+software the caches are running" (§II-C).  A :class:`CacheSoftwareProfile`
+bundles the externally observable behavioural parameters that real resolver
+implementations differ on — TTL clamping, negative-TTL handling, eviction —
+and builds a :class:`~repro.cache.cache.DnsCache` configured accordingly.
+
+The profiles below are modelled on the published defaults of well-known
+implementations; :mod:`repro.core.fingerprint` infers the profile of a live
+cache purely from its answers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import DnsCache
+from .policy import make_policy
+
+
+@dataclass(frozen=True)
+class CacheSoftwareProfile:
+    """Observable behavioural fingerprint of one cache implementation."""
+
+    name: str
+    min_ttl: int
+    max_ttl: int
+    negative_ttl_cap: int
+    eviction_policy: str
+    default_capacity: int
+
+    def build_cache(self, cache_id: Optional[str] = None,
+                    capacity: Optional[int] = None,
+                    rng: Optional[random.Random] = None) -> DnsCache:
+        return DnsCache(
+            cache_id=cache_id,
+            capacity=capacity or self.default_capacity,
+            min_ttl=self.min_ttl,
+            max_ttl=self.max_ttl,
+            negative_ttl_cap=self.negative_ttl_cap,
+            policy=make_policy(self.eviction_policy),
+            rng=rng,
+        )
+
+
+#: BIND 9 defaults: max-cache-ttl one week, max-ncache-ttl 3 hours, LRU.
+BIND9_LIKE = CacheSoftwareProfile(
+    name="bind9-like",
+    min_ttl=0,
+    max_ttl=604_800,
+    negative_ttl_cap=10_800,
+    eviction_policy="lru",
+    default_capacity=200_000,
+)
+
+#: Unbound defaults: cache-max-ttl one day, cache-min-ttl 0, neg cap 1 hour.
+UNBOUND_LIKE = CacheSoftwareProfile(
+    name="unbound-like",
+    min_ttl=0,
+    max_ttl=86_400,
+    negative_ttl_cap=3_600,
+    eviction_policy="lfu",
+    default_capacity=100_000,
+)
+
+#: Windows DNS: MaxCacheTtl one day, MaxNegativeCacheTtl 15 minutes.
+WINDOWS_DNS_LIKE = CacheSoftwareProfile(
+    name="windows-dns-like",
+    min_ttl=0,
+    max_ttl=86_400,
+    negative_ttl_cap=900,
+    eviction_policy="fifo",
+    default_capacity=50_000,
+)
+
+#: A forwarding appliance that enforces a TTL floor (common in CPE devices).
+APPLIANCE_LIKE = CacheSoftwareProfile(
+    name="appliance-like",
+    min_ttl=60,
+    max_ttl=86_400,
+    negative_ttl_cap=600,
+    eviction_policy="random",
+    default_capacity=10_000,
+)
+
+PROFILES: dict[str, CacheSoftwareProfile] = {
+    profile.name: profile
+    for profile in (BIND9_LIKE, UNBOUND_LIKE, WINDOWS_DNS_LIKE, APPLIANCE_LIKE)
+}
+
+
+def profile_by_name(name: str) -> CacheSoftwareProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown cache software profile {name!r}") from None

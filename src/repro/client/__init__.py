@@ -1,0 +1,19 @@
+"""Indirect-prober substrates: browsers, ad-network machinery, SMTP servers."""
+
+from .browser import Browser, FetchResult
+from .proxy import ProxyResolution, WebProxy
+from .smtp import (
+    DKIM_SELECTOR,
+    TABLE1_FRACTIONS,
+    DeliveryAttempt,
+    SmtpAuthPolicy,
+    SmtpServer,
+)
+from .webpage import PAPER_COMPLETION_RATE, AdCampaign, CampaignStats, Impression
+
+__all__ = [
+    "AdCampaign", "Browser", "CampaignStats", "DKIM_SELECTOR",
+    "DeliveryAttempt", "FetchResult", "Impression", "PAPER_COMPLETION_RATE",
+    "ProxyResolution", "SmtpAuthPolicy", "SmtpServer", "TABLE1_FRACTIONS",
+    "WebProxy",
+]

@@ -1,0 +1,111 @@
+"""Web browsers with local DNS caches.
+
+Paper §IV-B: "The local caches include caches in operating systems, caches
+in stub resolvers, caches in web browsers and web proxies; for instance, a
+local cache within the browsers, such as Internet Explorer or the stub DNS
+resolver's cache within the operating systems, such as Windows8."
+
+:class:`Browser` models the two client-side cache layers that the bypass
+techniques must defeat:
+
+* the browser's own host cache, which ignores record TTLs and pins each
+  resolution for a fixed period (Chrome ~60 s, IE historically much longer);
+* the OS stub resolver's cache underneath it
+  (:class:`~repro.resolver.stub.StubResolver`).
+
+``fetch()`` resolves a URL's hostname through both layers, which is all the
+measurement cares about; the HTTP exchange itself is abstracted to a
+latency charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.errors import ResolutionError
+from ..dns.name import DnsName, name as make_name
+from ..dns.rrtype import RCode, RRType
+from ..net.network import Network
+from ..resolver.stub import StubResolver
+
+
+@dataclass
+class FetchResult:
+    hostname: DnsName
+    resolved: bool
+    address: Optional[str]
+    dns_rtt: float
+    from_browser_cache: bool
+    from_os_cache: bool
+
+
+@dataclass
+class _HostCacheEntry:
+    address: Optional[str]  # None caches a resolution failure
+    expires_at: float
+
+
+class Browser:
+    """A browser on one client host."""
+
+    #: Chrome-like fixed host-cache lifetime (seconds), independent of TTL.
+    DEFAULT_HOST_CACHE_SECONDS = 60.0
+
+    def __init__(self, host_ip: str, stub: StubResolver, network: Network,
+                 host_cache_seconds: float = DEFAULT_HOST_CACHE_SECONDS,
+                 proxy=None):
+        self.host_ip = host_ip
+        self.stub = stub
+        self.network = network
+        self.host_cache_seconds = host_cache_seconds
+        #: Optional shared :class:`~repro.client.proxy.WebProxy`; when set,
+        #: hostname resolution happens at the proxy, not at this host.
+        self.proxy = proxy
+        self._host_cache: dict[DnsName, _HostCacheEntry] = {}
+        self.fetches = 0
+
+    def fetch(self, url: str) -> FetchResult:
+        """Navigate to ``url``; only the DNS side effects are modelled."""
+        self.fetches += 1
+        hostname = self._hostname_of(url)
+        now = self.network.clock.now
+
+        cached = self._host_cache.get(hostname)
+        if cached is not None and now < cached.expires_at:
+            return FetchResult(hostname, cached.address is not None,
+                               cached.address, 0.0, True, False)
+
+        if self.proxy is not None:
+            resolution = self.proxy.resolve(hostname)
+            self._host_cache[hostname] = _HostCacheEntry(
+                resolution.address,
+                self.network.clock.now + self.host_cache_seconds)
+            return FetchResult(hostname, resolution.address is not None,
+                               resolution.address, resolution.rtt,
+                               False, resolution.from_proxy_cache)
+
+        try:
+            answer = self.stub.query(hostname, RRType.A)
+        except ResolutionError:
+            self._host_cache[hostname] = _HostCacheEntry(
+                None, now + self.host_cache_seconds)
+            return FetchResult(hostname, False, None, 0.0, False, False)
+
+        address = answer.addresses[0] if answer.addresses else None
+        resolved = answer.rcode == RCode.NOERROR and address is not None
+        self._host_cache[hostname] = _HostCacheEntry(
+            address if resolved else None,
+            self.network.clock.now + self.host_cache_seconds,
+        )
+        return FetchResult(hostname, resolved, address, answer.rtt,
+                           False, answer.from_local_cache)
+
+    def clear_host_cache(self) -> None:
+        self._host_cache.clear()
+
+    @staticmethod
+    def _hostname_of(url: str) -> DnsName:
+        rest = url.split("://", 1)[-1]
+        host = rest.split("/", 1)[0].split(":", 1)[0]
+        return make_name(host)

@@ -1,0 +1,61 @@
+"""Web proxies with shared DNS caches.
+
+Paper §IV-B lists the local caches an indirect probe must traverse: "caches
+in operating systems, caches in stub resolvers, caches in web browsers and
+web proxies".  The first three are per-client; a web proxy is *shared* — an
+enterprise's browsers all resolve through it, so one client's lookup
+shields every other client's repeat.
+
+:class:`WebProxy` models that layer: it owns a stub resolver (with the
+proxy host's OS cache) and fields hostname resolutions for any number of
+:class:`~repro.client.browser.Browser` instances configured to use it.
+The bypass techniques must (and do) defeat this layer too, since the q
+probe names stay distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.errors import ResolutionError
+from ..dns.name import DnsName
+from ..dns.rrtype import RCode, RRType
+from ..resolver.stub import StubResolver
+
+
+@dataclass
+class ProxyResolution:
+    address: Optional[str]
+    rtt: float
+    from_proxy_cache: bool
+
+
+class WebProxy:
+    """A shared forward proxy; only its DNS behaviour is modelled."""
+
+    def __init__(self, name: str, stub: StubResolver):
+        self.name = name
+        self.stub = stub
+        self.resolutions = 0
+        self.cache_hits = 0
+
+    @property
+    def host_ip(self) -> str:
+        return self.stub.host_ip
+
+    def resolve(self, hostname: DnsName) -> ProxyResolution:
+        """Resolve on behalf of a client browser."""
+        self.resolutions += 1
+        try:
+            answer = self.stub.query(hostname, RRType.A)
+        except ResolutionError:
+            return ProxyResolution(address=None, rtt=0.0,
+                                   from_proxy_cache=False)
+        if answer.from_local_cache:
+            self.cache_hits += 1
+        address = answer.addresses[0] if answer.addresses else None
+        if answer.rcode != RCode.NOERROR:
+            address = None
+        return ProxyResolution(address=address, rtt=answer.rtt,
+                               from_proxy_cache=answer.from_local_cache)

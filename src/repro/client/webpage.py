@@ -1,0 +1,86 @@
+"""Ad-network data collection (paper §III-C).
+
+"We used an ad-network to collect data from the resolvers used by web
+clients. [...] we embedded our script (which is a combination of Javascript
+and HTML) in an ad network page [...] wrapped in an iframe [...].  When
+downloading the web page, the Javascript causes the browser to navigate to
+our URLs, which generates DNS requests to our CDE infrastructure. [...] Out
+of 12K clients, approximately 1:50 of the executions resulted in tests that
+completed successfully."
+
+:class:`AdCampaign` models that pipeline: impressions arrive from browser
+clients (each behind its ISP's resolution platform); each impression loads
+the measurement script with probability ``script_load_rate`` (the AJAX
+callback confirming "page loaded and functional"), and a loaded script runs
+to completion — the test "ran as a pop-under and needed several minutes" —
+with probability ``completion_rate``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .browser import Browser
+
+#: Paper: ~1 in 50 executions completed the full (several-minute) test.
+PAPER_COMPLETION_RATE = 1.0 / 50.0
+
+
+@dataclass
+class Impression:
+    """One ad served to one client browser."""
+
+    browser: Browser
+    script_loaded: bool
+    completed: bool
+    fetched_urls: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CampaignStats:
+    impressions: int = 0
+    scripts_loaded: int = 0
+    completed: int = 0
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.impressions if self.impressions else 0.0
+
+
+class AdCampaign:
+    """Serves the measurement iframe through an ad network."""
+
+    def __init__(self, script_load_rate: float = 0.95,
+                 completion_rate: float = PAPER_COMPLETION_RATE,
+                 rng: Optional[random.Random] = None):
+        if not 0 < script_load_rate <= 1 or not 0 < completion_rate <= 1:
+            raise ValueError("rates must be in (0, 1]")
+        self.script_load_rate = script_load_rate
+        self.completion_rate = completion_rate
+        self.rng = rng or random.Random(0)
+        self.stats = CampaignStats()
+
+    def serve(self, browser: Browser,
+              test_script: Callable[[Browser], list[str]]) -> Impression:
+        """Serve one impression; run ``test_script`` when it survives.
+
+        ``test_script`` receives the browser and returns the URLs it
+        fetched; it is only invoked for impressions that load *and*
+        complete, mirroring the paper's successful-test filter.
+        """
+        self.stats.impressions += 1
+        script_loaded = self.rng.random() < self.script_load_rate
+        if script_loaded:
+            self.stats.scripts_loaded += 1
+        completed = script_loaded and self.rng.random() < self.completion_rate
+        impression = Impression(browser=browser, script_loaded=script_loaded,
+                                completed=completed)
+        if completed:
+            self.stats.completed += 1
+            impression.fetched_urls = test_script(browser)
+        return impression
+
+    def expected_completions(self, impressions: int) -> float:
+        return impressions * self.script_load_rate * self.completion_rate

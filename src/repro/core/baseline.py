@@ -1,0 +1,103 @@
+"""The IP-level baseline view of a resolution platform.
+
+Prior work (paper §VI: open-resolver scans, egress software fingerprinting)
+measures *devices with IP addresses*: it discovers ingress addresses by
+scanning and egress addresses from nameserver logs, and treats each address
+as a resolver.  The paper's conceptual contribution is that this view
+"omits the hidden caches" — the cache count is not derivable from any
+IP-level observable, and IP counts can both under- and over-state it.
+
+This module implements that baseline faithfully so the benches can compare
+it against the CDE census on identical platforms:
+
+* :func:`ip_level_census` — the classical device count (responsive ingress
+  addresses + observed egress addresses);
+* :func:`egress_software_fingerprint` — Shue/Kalafut-style per-egress-IP
+  behaviour fingerprinting from query patterns (here: EDNS use and the
+  queried-name structure), which identifies *egress software*, "not
+  representative of a DNS resolution platform" (§VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.errors import QueryTimeout
+from ..dns.rrtype import RRType
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+
+@dataclass
+class IpLevelCensus:
+    """What an address-scanning study sees of one platform."""
+
+    responsive_ingress: set[str] = field(default_factory=set)
+    observed_egress: set[str] = field(default_factory=set)
+
+    @property
+    def device_count(self) -> int:
+        """Distinct addresses — the baseline's 'resolver count'."""
+        return len(self.responsive_ingress | self.observed_egress)
+
+
+def ip_level_census(cde: CdeInfrastructure, prober: DirectProber,
+                    ingress_ips: list[str],
+                    probes_per_ip: int = 4) -> IpLevelCensus:
+    """The classical scan: which addresses respond, which addresses query.
+
+    No repetition analysis, no honey records — exactly the information an
+    IPv4-scan study (§VI's open-resolver scans) collects.
+    """
+    census = IpLevelCensus()
+    for ingress_ip in ingress_ips:
+        responded = False
+        since = prober.network.clock.now
+        for _ in range(probes_per_ip):
+            try:
+                transaction = prober.query(ingress_ip,
+                                           cde.unique_name("ipscan"))
+            except QueryTimeout:
+                continue
+            if transaction.response is not None:
+                responded = True
+        if responded:
+            census.responsive_ingress.add(ingress_ip)
+        census.observed_egress |= cde.egress_sources(since=since)
+    return census
+
+
+@dataclass
+class EgressFingerprint:
+    egress_ip: str
+    uses_edns: bool
+    queries_seen: int
+
+
+def egress_software_fingerprint(cde: CdeInfrastructure, prober: DirectProber,
+                                ingress_ip: str,
+                                probes: int = 16) -> list[EgressFingerprint]:
+    """Per-egress-IP behavioural fingerprint from arriving queries.
+
+    Observes, per egress source address, externally visible query
+    behaviour.  The technique sees *the egress software*; two caches behind
+    one egress address, or one cache spread over many egress addresses, are
+    invisible to it — the limitation the CDE removes.
+    """
+    since = prober.network.clock.now
+    names = cde.unique_names(probes, prefix="egfp")
+    for probe_name in names:
+        prober.probe(ingress_ip, probe_name)
+    wanted = set(names)
+    per_source: dict[str, list] = {}
+    for entry in cde.server.query_log.entries(
+            since=since, predicate=lambda e: e.qname in wanted):
+        per_source.setdefault(entry.src_ip, []).append(entry)
+    fingerprints = []
+    for egress_ip, entries in sorted(per_source.items()):
+        fingerprints.append(EgressFingerprint(
+            egress_ip=egress_ip,
+            uses_edns=any(e.qtype == RRType.OPT for e in entries),
+            queries_seen=len(entries),
+        ))
+    return fingerprints

@@ -1,0 +1,166 @@
+"""Local-cache bypass techniques for indirect probing (paper §IV-B2).
+
+When the prober reaches the platform only through an application (email
+server, web browser), the OS/browser caches in the path mean *each hostname
+can be queried only once*.  Both techniques below convert "q distinct names
+triggered once each" back into the countable signal "one nameserver arrival
+per cache":
+
+* **CNAME chain** (§IV-B2a): the q probe names are distinct aliases of one
+  shared target.  Local caches see q different hostnames (never a repeat),
+  while inside the platform every alias resolution needs the *target*
+  record — which each cache fetches exactly once.  Requires the CDE
+  nameserver to answer CNAMEs minimally (no target address attached).
+* **Names hierarchy** (§IV-B2b): the q probe names live in a delegated
+  subzone.  Each cache must learn the delegation from the parent zone
+  exactly once, so the parent nameserver's log counts caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+from .analysis import CacheCountEstimate, estimate_from_occupancy
+from .infrastructure import CdeInfrastructure, CnameChain, NamesHierarchy
+from .prober import DirectProber, IndirectProber
+
+
+@dataclass
+class BypassEnumerationResult:
+    technique: str
+    probe_names: list[DnsName]
+    triggered: int
+    arrivals: int
+    estimate: CacheCountEstimate
+
+    @property
+    def cache_count(self) -> int:
+        return self.estimate.rounded
+
+
+class CnameChainBypass:
+    """Enumerate caches through an indirect prober using a CNAME chain."""
+
+    technique = "cname-chain"
+
+    def __init__(self, cde: CdeInfrastructure):
+        self.cde = cde
+
+    def setup(self, q: int) -> CnameChain:
+        return self.cde.setup_cname_chain(q)
+
+    def run(self, prober: IndirectProber, q: int,
+            count_qtype: RRType | None = RRType.A) -> BypassEnumerationResult:
+        """Trigger the q aliases and count target-record arrivals.
+
+        The aliases themselves always miss (they are fresh names), so alias
+        arrivals equal the number of triggered probes; the *target*
+        arrivals count caches: a cache that resolved any alias holds the
+        target record and never asks for it again.
+
+        ``count_qtype=None`` counts per observed qtype and keeps the
+        maximum — useful for SMTP probers, whose servers fan one probe name
+        out into several query types (TXT, MX, A...), each type forming an
+        independent per-cache census.
+        """
+        chain = self.setup(q)
+        since = self.cde.network.clock.now
+        triggered = prober.trigger(chain.aliases)
+        if count_qtype is None:
+            by_qtype: dict[RRType, int] = {}
+            for entry in self.cde.server.query_log.entries(
+                    qname=chain.target, since=since):
+                by_qtype[entry.qtype] = by_qtype.get(entry.qtype, 0) + 1
+            arrivals = max(by_qtype.values(), default=0)
+        else:
+            arrivals = self.cde.count_queries_for(chain.target, since=since,
+                                                  qtype=count_qtype)
+        estimate = CacheCountEstimate(
+            estimate=(estimate_from_occupancy(max(triggered, 1), arrivals)
+                      if arrivals else 0.0),
+            lower_bound=arrivals,
+            queries_sent=triggered,
+            arrivals=arrivals,
+        )
+        return BypassEnumerationResult(
+            technique=self.technique, probe_names=chain.aliases,
+            triggered=triggered, arrivals=arrivals, estimate=estimate,
+        )
+
+
+class NamesHierarchyBypass:
+    """Enumerate caches through an indirect prober using a delegated
+    subzone."""
+
+    technique = "names-hierarchy"
+
+    def __init__(self, cde: CdeInfrastructure):
+        self.cde = cde
+
+    def setup(self, q: int) -> NamesHierarchy:
+        return self.cde.setup_names_hierarchy(q)
+
+    def run(self, prober: IndirectProber, q: int) -> BypassEnumerationResult:
+        """Trigger the q subzone leaves; parent-zone arrivals count caches.
+
+        "The number of queries arriving at the nameserver of cache.example
+        indicate the number of caches used by a given IP address at a
+        measured resolution infrastructure."
+        """
+        hierarchy = self.setup(q)
+        since = self.cde.network.clock.now
+        triggered = prober.trigger(hierarchy.names)
+        # Queries logged at the *parent* nameserver for names inside the
+        # delegated subzone are the per-cache referral fetches.
+        arrivals = self.cde.count_queries_under(hierarchy.origin, since=since)
+        estimate = CacheCountEstimate(
+            estimate=(estimate_from_occupancy(max(triggered, 1), arrivals)
+                      if arrivals else 0.0),
+            lower_bound=arrivals,
+            queries_sent=triggered,
+            arrivals=arrivals,
+        )
+        return BypassEnumerationResult(
+            technique=self.technique, probe_names=hierarchy.names,
+            triggered=triggered, arrivals=arrivals, estimate=estimate,
+        )
+
+
+def enumerate_indirect_cname(cde: CdeInfrastructure, prober: IndirectProber,
+                             q: int,
+                             count_qtype: RRType | None = RRType.A
+                             ) -> BypassEnumerationResult:
+    """Convenience wrapper over :class:`CnameChainBypass`."""
+    return CnameChainBypass(cde).run(prober, q, count_qtype)
+
+
+def enumerate_indirect_hierarchy(cde: CdeInfrastructure,
+                                 prober: IndirectProber,
+                                 q: int) -> BypassEnumerationResult:
+    """Convenience wrapper over :class:`NamesHierarchyBypass`."""
+    return NamesHierarchyBypass(cde).run(prober, q)
+
+
+def enumerate_direct_via_cname(cde: CdeInfrastructure, prober: DirectProber,
+                               ingress_ip: str, q: int,
+                               count_qtype: RRType = RRType.A
+                               ) -> BypassEnumerationResult:
+    """The CNAME-chain technique driven by a *direct* prober.
+
+    Useful for validating the bypass against the plain direct method on the
+    same platform (the ablation bench does exactly this).
+    """
+
+    class _DirectAdapter:
+        def trigger(self, names: list[DnsName]) -> int:
+            emitted = 0
+            for probe_name in names:
+                if prober.probe(ingress_ip, probe_name, count_qtype).delivered:
+                    emitted += 1
+                else:
+                    emitted += 1  # the probe was sent even if the answer died
+            return emitted
+
+    return CnameChainBypass(cde).run(_DirectAdapter(), q, count_qtype)

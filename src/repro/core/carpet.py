@@ -1,0 +1,121 @@
+"""Carpet bombing: probe replication against packet loss (paper §V).
+
+"During our Internet measurements we incurred packet loss in some networks
+[...] to cope with packet loss we use a statistical approach we dub *carpet
+bombing* [...] instead of a single query we use K queries; such that the
+parameter K is a function of a packet loss in the measured network."
+
+This module implements: loss-rate estimation from probe echoes, the
+``K(loss, confidence)`` sizing rule, and :class:`CarpetProber`, a drop-in
+:class:`~repro.core.prober.DirectProber` wrapper that replicates every
+logical probe K times with retransmission disabled (the replicas *are* the
+retransmission, but each one independently load-balances onto a cache, so
+they also speed up coverage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber, ProbeResult
+
+
+@dataclass
+class LossEstimate:
+    probes: int
+    lost: int
+
+    @property
+    def rate(self) -> float:
+        return self.lost / self.probes if self.probes else 0.0
+
+
+def estimate_loss(prober: DirectProber, ingress_ip: str,
+                  probe_name: DnsName, probes: int = 50) -> LossEstimate:
+    """Estimate end-to-end loss by probing a (cacheable) name with
+    retransmission disabled and counting unanswered probes.
+
+    Note the measured rate is the round-trip loss, ``1 − (1 − p)²`` for
+    per-traversal loss ``p``; carpet sizing uses the round-trip number,
+    which is the one that matters for probe survival.
+    """
+    if probes < 1:
+        raise ValueError("need at least one probe")
+    lost = 0
+    for _ in range(probes):
+        if not prober.probe(ingress_ip, probe_name, retries=0).delivered:
+            lost += 1
+    return LossEstimate(probes=probes, lost=lost)
+
+
+def carpet_k(loss_rate: float, confidence: float = 0.99,
+             k_cap: int = 64) -> int:
+    """Replicas per logical probe so at least one survives w.p. confidence.
+
+    Solves ``loss^K ≤ 1 − confidence``; K = 1 when the path is clean.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss rate must be in [0, 1)")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if loss_rate == 0.0:
+        return 1
+    k = int(math.ceil(math.log(1.0 - confidence) / math.log(loss_rate)))
+    return max(1, min(k, k_cap))
+
+
+class CarpetProber:
+    """Replicates each logical probe K times.
+
+    Exposes the same ``probe``/``probe_many`` surface as
+    :class:`DirectProber` so the enumeration and mapping code can use either
+    interchangeably.  A logical probe is *delivered* when any replica is
+    answered; the reported RTT is the fastest replica's.
+    """
+
+    def __init__(self, prober: DirectProber, k: int):
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        self.prober = prober
+        self.k = k
+
+    @classmethod
+    def tuned(cls, prober: DirectProber, cde: CdeInfrastructure,
+              ingress_ip: str, confidence: float = 0.99,
+              calibration_probes: int = 50) -> "CarpetProber":
+        """Measure the path loss, then size K accordingly."""
+        calibration_name = cde.unique_name("loss")
+        loss = estimate_loss(prober, ingress_ip, calibration_name,
+                             probes=calibration_probes)
+        return cls(prober, carpet_k(loss.rate, confidence))
+
+    @property
+    def network(self):
+        return self.prober.network
+
+    @property
+    def queries_sent(self) -> int:
+        return self.prober.queries_sent
+
+    def probe(self, ingress_ip: str, qname: DnsName,
+              qtype: RRType = RRType.A,
+              retries: Optional[int] = None) -> ProbeResult:
+        best: Optional[ProbeResult] = None
+        for _ in range(self.k):
+            result = self.prober.probe(ingress_ip, qname, qtype, retries=0)
+            if result.delivered and (best is None or best.rtt is None or
+                                     (result.rtt or 0) < best.rtt):
+                best = result
+        if best is not None:
+            return best
+        return ProbeResult(qname, qtype, delivered=False)
+
+    def probe_many(self, ingress_ip: str, qname: DnsName, count: int,
+                   qtype: RRType = RRType.A,
+                   retries: Optional[int] = None) -> list[ProbeResult]:
+        return [self.probe(ingress_ip, qname, qtype) for _ in range(count)]

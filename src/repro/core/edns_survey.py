@@ -1,0 +1,87 @@
+"""EDNS(0) adoption survey (paper §II-C, 'Measuring software and new
+mechanisms').
+
+"Our tools enable studies of adoption of new mechanisms for DNS, such as
+the transport layer EDNS [RFC6891] mechanism."  The survey probes each
+platform's ingress address with an OPT-bearing query and records whether —
+and with what advertised payload size — the platform answers with EDNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dns.errors import QueryTimeout
+from ..dns.message import DnsMessage
+from ..dns.rrtype import RRType
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+PROBE_PAYLOAD = 4096
+
+
+@dataclass
+class EdnsObservation:
+    ingress_ip: str
+    reachable: bool
+    supports_edns: bool
+    advertised_size: Optional[int] = None
+
+
+@dataclass
+class EdnsSurveyResult:
+    observations: list[EdnsObservation] = field(default_factory=list)
+
+    @property
+    def surveyed(self) -> int:
+        return sum(1 for obs in self.observations if obs.reachable)
+
+    @property
+    def supporting(self) -> int:
+        return sum(1 for obs in self.observations if obs.supports_edns)
+
+    @property
+    def adoption_rate(self) -> float:
+        return self.supporting / self.surveyed if self.surveyed else 0.0
+
+    def size_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        for obs in self.observations:
+            if obs.advertised_size is not None:
+                histogram[obs.advertised_size] = \
+                    histogram.get(obs.advertised_size, 0) + 1
+        return histogram
+
+
+def probe_platform_edns(cde: CdeInfrastructure, prober: DirectProber,
+                        ingress_ip: str) -> EdnsObservation:
+    """One EDNS capability probe against one ingress address."""
+    query = DnsMessage.make_query(
+        cde.unique_name("edns"), RRType.A,
+        msg_id=prober.rng.randrange(1 << 16),
+        edns_payload_size=PROBE_PAYLOAD,
+    )
+    try:
+        transaction = prober.network.query(prober.prober_ip, ingress_ip,
+                                           query)
+    except QueryTimeout:
+        return EdnsObservation(ingress_ip, reachable=False,
+                               supports_edns=False)
+    response = transaction.response
+    return EdnsObservation(
+        ingress_ip=ingress_ip,
+        reachable=True,
+        supports_edns=response.edns_payload_size is not None,
+        advertised_size=response.edns_payload_size,
+    )
+
+
+def survey_edns_adoption(cde: CdeInfrastructure, prober: DirectProber,
+                         ingress_ips: list[str]) -> EdnsSurveyResult:
+    """Probe a list of platforms (one ingress each) for EDNS support."""
+    result = EdnsSurveyResult()
+    for ingress_ip in ingress_ips:
+        result.observations.append(probe_platform_edns(cde, prober,
+                                                       ingress_ip))
+    return result

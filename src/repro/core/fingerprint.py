@@ -1,0 +1,166 @@
+"""Cache software fingerprinting (paper §II-C, 'Measuring software').
+
+Prior fingerprinting work (Shue & Kalafut; Chitpranee & Fukuda — paper
+§VI) identifies the software at *egress IP addresses* from query patterns;
+it cannot see the caches.  With per-cache probing unlocked by the
+enumeration techniques, the *cache's own* behavioural parameters become
+measurable from answer TTLs:
+
+* plant a record with an enormous TTL → the answered TTL reveals the
+  cache's **max-TTL clamp**;
+* plant a record with TTL 1 → an answered TTL above it reveals a
+  **min-TTL floor**;
+* probe a missing name twice with widening gaps → the second arrival
+  reveals the **negative-TTL cap** bracket.
+
+The observed triple is matched against the profile table in
+:mod:`repro.cache.software`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cache.software import PROFILES, CacheSoftwareProfile
+from ..dns.rrtype import RRType
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+#: Probe TTL far above any sane clamp.
+HUGE_TTL = 30_000_000
+
+
+@dataclass
+class FingerprintObservation:
+    observed_max_ttl: Optional[int] = None
+    observed_min_ttl: Optional[int] = None
+    negative_ttl_bracket: Optional[tuple[int, int]] = None
+
+    def matches(self, profile: CacheSoftwareProfile) -> bool:
+        if self.observed_max_ttl is not None and \
+                self.observed_max_ttl != profile.max_ttl:
+            return False
+        if self.observed_min_ttl is not None and \
+                self.observed_min_ttl != profile.min_ttl:
+            return False
+        if self.negative_ttl_bracket is not None:
+            low, high = self.negative_ttl_bracket
+            # Exclusive at the low edge: a cap exactly at a probe point
+            # belongs to the bracket that *ends* there.
+            if not low < profile.negative_ttl_cap <= high:
+                return False
+        return True
+
+
+@dataclass
+class FingerprintResult:
+    observation: FingerprintObservation
+    candidates: list[str]
+
+    @property
+    def identified(self) -> Optional[str]:
+        return self.candidates[0] if len(self.candidates) == 1 else None
+
+
+def observe_ttl_clamps(cde: CdeInfrastructure, prober: DirectProber,
+                       ingress_ip: str) -> FingerprintObservation:
+    """Measure the max-TTL and min-TTL clamps of the cache(s) behind an IP.
+
+    Works exactly on single-cache pools; on multi-cache pools the readings
+    describe whichever cache each probe landed on (callers should enumerate
+    first and repeat sampling — see :func:`fingerprint_platform`).
+    """
+    observation = FingerprintObservation()
+
+    big_name = cde.unique_name("fp-max")
+    cde.add_a_record(big_name, ttl=HUGE_TTL)
+    first = prober.probe(ingress_ip, big_name, RRType.A)
+    second = prober.probe(ingress_ip, big_name, RRType.A)
+    for result in (second, first):
+        if result.transaction is not None and result.transaction.response.answers:
+            answered_ttl = result.transaction.response.answers[0].ttl
+            if answered_ttl < HUGE_TTL:
+                observation.observed_max_ttl = _round_ttl(answered_ttl)
+            break
+
+    tiny_name = cde.unique_name("fp-min")
+    cde.add_a_record(tiny_name, ttl=1)
+    result = prober.probe(ingress_ip, tiny_name, RRType.A)
+    if result.transaction is not None and result.transaction.response.answers:
+        answered_ttl = result.transaction.response.answers[0].ttl
+        if answered_ttl > 1:
+            observation.observed_min_ttl = _round_min_ttl(answered_ttl)
+        else:
+            observation.observed_min_ttl = 0
+    return observation
+
+
+def _round_min_ttl(ttl: int, slack: int = 5) -> int:
+    """Snap a min-TTL reading onto a known floor (answers age slightly
+    between caching and reading)."""
+    for profile in PROFILES.values():
+        if profile.min_ttl and profile.min_ttl - slack <= ttl <= profile.min_ttl:
+            return profile.min_ttl
+    return ttl
+
+
+def _round_ttl(ttl: int, slack: int = 5) -> int:
+    """Snap an answered TTL onto a known clamp value.
+
+    Cached answers age before we read them; a reading within ``slack``
+    seconds below a known profile clamp is that clamp.
+    """
+    for profile in PROFILES.values():
+        if profile.max_ttl - slack <= ttl <= profile.max_ttl:
+            return profile.max_ttl
+    return ttl
+
+
+def observe_negative_ttl(cde: CdeInfrastructure, prober: DirectProber,
+                         ingress_ip: str,
+                         brackets: tuple[int, ...] = (600, 900, 3600, 10_800)
+                         ) -> Optional[tuple[int, int]]:
+    """Bracket the negative-TTL cap by re-probing a cached NXDOMAIN.
+
+    The CDE zone's SOA TTL/minimum are deliberately huge, so the
+    platform's *own* negative cap dominates; we re-query just past each
+    bracket boundary and watch for the nameserver arrival that signals the
+    negative entry expired.
+    """
+    # A name *under an existing leaf* is a true NXDOMAIN even in our
+    # wildcard zone: the existing parent label blocks the apex wildcard.
+    missing = cde.ns_name.prepend(cde.unique_name("fp-neg").labels[0])
+    clock = prober.network.clock
+    planted_at = clock.now
+    prober.probe(ingress_ip, missing, RRType.A)
+    previous = 0
+    for bracket in brackets:
+        target = planted_at + bracket + 2.0
+        if target > clock.now:
+            clock.advance_to(target)
+        since = clock.now
+        prober.probe(ingress_ip, missing, RRType.A)
+        if cde.count_queries_for(missing, since=since):
+            return (previous, bracket)
+        previous = bracket
+    return (previous, 1 << 30)
+
+
+def fingerprint_platform(cde: CdeInfrastructure, prober: DirectProber,
+                         ingress_ip: str,
+                         samples: int = 3) -> list[FingerprintResult]:
+    """Fingerprint the cache pool behind one ingress IP.
+
+    Repeats the clamp observation ``samples`` times; on a multi-cache pool
+    the probes land on different caches, so heterogeneous pools yield
+    several distinct results.
+    """
+    results = []
+    for _ in range(samples):
+        observation = observe_ttl_clamps(cde, prober, ingress_ip)
+        candidates = [name for name, profile in PROFILES.items()
+                      if observation.matches(profile)]
+        results.append(FingerprintResult(observation=observation,
+                                         candidates=candidates))
+    return results

@@ -1,0 +1,102 @@
+"""Resolver integrity checking (dataset hygiene, paper §III-A / §VI).
+
+The paper's open-resolver dataset "excludes malicious networks"; studies
+it cites found many open resolvers to be hijackers.  These checks detect
+the classic pathologies from the measurer's side, using only records the
+CDE controls:
+
+* **NXDOMAIN hijacking** — a guaranteed-nonexistent name in our zone must
+  return NXDOMAIN; a NOERROR answer is an injection;
+* **answer substitution** — a known record must resolve to the published
+  address;
+* **TTL rewriting** — a fresh record's answered TTL must not exceed the
+  published TTL (caches may only age it downwards).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dns.errors import QueryTimeout
+from ..dns.rrtype import RCode, RRType
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+
+class IntegrityIssue(enum.Enum):
+    UNREACHABLE = "unreachable"
+    NXDOMAIN_HIJACK = "nxdomain-hijack"
+    ANSWER_SUBSTITUTION = "answer-substitution"
+    TTL_REWRITE_UP = "ttl-rewritten-upwards"
+
+
+@dataclass
+class IntegrityReport:
+    ingress_ip: str
+    issues: list[IntegrityIssue] = field(default_factory=list)
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+
+def check_resolver_integrity(cde: CdeInfrastructure, prober: DirectProber,
+                             ingress_ip: str,
+                             probe_ttl: int = 300) -> IntegrityReport:
+    """Run the three integrity checks against one resolver address."""
+    report = IntegrityReport(ingress_ip=ingress_ip)
+
+    # Check 1: known record must return the published address.
+    known = cde.unique_name("integrity")
+    cde.add_a_record(known, ttl=probe_ttl)
+    try:
+        response = prober.query(ingress_ip, known).response
+    except QueryTimeout:
+        report.issues.append(IntegrityIssue.UNREACHABLE)
+        return report
+    addresses = [record.rdata.address for record in response.answers
+                 if record.rtype == RRType.A]
+    if addresses and cde.answer_ip not in addresses:
+        report.issues.append(IntegrityIssue.ANSWER_SUBSTITUTION)
+        report.details.append(
+            f"{known} answered {addresses} instead of {cde.answer_ip}")
+
+    # Check 2: the answered TTL must never exceed the published TTL.
+    if response.answers and response.answers[0].ttl > probe_ttl:
+        report.issues.append(IntegrityIssue.TTL_REWRITE_UP)
+        report.details.append(
+            f"TTL {response.answers[0].ttl} > published {probe_ttl}")
+
+    # Check 3: a guaranteed-missing name must be NXDOMAIN.
+    missing = cde.ns_name.prepend(cde.unique_name("nx").labels[0])
+    try:
+        nx_response = prober.query(ingress_ip, missing).response
+    except QueryTimeout:
+        report.issues.append(IntegrityIssue.UNREACHABLE)
+        return report
+    if nx_response.rcode != RCode.NXDOMAIN or nx_response.answers:
+        report.issues.append(IntegrityIssue.NXDOMAIN_HIJACK)
+        answered = [record.rdata.address for record in nx_response.answers
+                    if record.rtype == RRType.A]
+        report.details.append(
+            f"{missing} returned {nx_response.rcode} {answered} "
+            f"instead of NXDOMAIN")
+    return report
+
+
+def filter_clean_resolvers(cde: CdeInfrastructure, prober: DirectProber,
+                           ingress_ips: list[str]) -> tuple[list[str],
+                                                            list[IntegrityReport]]:
+    """Split resolvers into clean addresses and flagged reports — the
+    dataset-hygiene step the paper applies before its study."""
+    clean: list[str] = []
+    flagged: list[IntegrityReport] = []
+    for ingress_ip in ingress_ips:
+        report = check_resolver_integrity(cde, prober, ingress_ip)
+        if report.clean:
+            clean.append(ingress_ip)
+        else:
+            flagged.append(report)
+    return clean, flagged

@@ -1,0 +1,130 @@
+"""Longitudinal platform monitoring (paper §I-B, §II-B).
+
+"Our tools enable repetitive studies of the caches over periods of time.
+This allows to perform analyses of adoption of new mechanisms, trends,
+growth of the DNS resolution platforms and more."  And operationally:
+"a network operator can identify when some of the caching components fail
+and are not available."
+
+:class:`PlatformMonitor` re-runs the cache census and egress census on a
+schedule (virtual time), keeps the history, and emits
+:class:`ChangeEvent`s whenever consecutive snapshots disagree — cache pool
+grown/shrunk, egress addresses appearing/disappearing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .analysis import queries_for_confidence
+from .enumeration import enumerate_direct
+from .infrastructure import CdeInfrastructure
+from .mapping import discover_egress_ips
+from .prober import DirectProber
+
+
+class ChangeKind(enum.Enum):
+    CACHES_INCREASED = "caches-increased"
+    CACHES_DECREASED = "caches-decreased"
+    EGRESS_ADDED = "egress-added"
+    EGRESS_REMOVED = "egress-removed"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    timestamp: float
+    cache_count: int
+    egress_ips: frozenset[str]
+    queries_spent: int
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    timestamp: float
+    kind: ChangeKind
+    before: int | frozenset[str]
+    after: int | frozenset[str]
+
+    def describe(self) -> str:
+        return f"[t={self.timestamp:.0f}s] {self.kind.value}: " \
+               f"{self.before} -> {self.after}"
+
+
+class PlatformMonitor:
+    """Periodic census of one ingress address."""
+
+    def __init__(self, cde: CdeInfrastructure, prober: DirectProber,
+                 ingress_ip: str, interval: float = 3600.0,
+                 n_hint: int = 8, confidence: float = 0.99,
+                 egress_probes: int = 32):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cde = cde
+        self.prober = prober
+        self.ingress_ip = ingress_ip
+        self.interval = interval
+        self.n_hint = n_hint
+        self.confidence = confidence
+        self.egress_probes = egress_probes
+        self.history: list[Snapshot] = []
+        self.events: list[ChangeEvent] = []
+
+    def observe(self) -> Snapshot:
+        """One census round; diffs against the previous snapshot."""
+        queries_before = self.prober.queries_sent
+        budget = queries_for_confidence(self.n_hint, self.confidence)
+        census = enumerate_direct(self.cde, self.prober, self.ingress_ip,
+                                  q=budget)
+        egress = discover_egress_ips(self.cde, self.prober, self.ingress_ip,
+                                     probes=self.egress_probes)
+        snapshot = Snapshot(
+            timestamp=self.prober.network.clock.now,
+            cache_count=census.arrivals,
+            egress_ips=frozenset(egress.egress_ips),
+            queries_spent=self.prober.queries_sent - queries_before,
+        )
+        if self.history:
+            self._diff(self.history[-1], snapshot)
+        self.history.append(snapshot)
+        return snapshot
+
+    def run(self, rounds: int) -> list[Snapshot]:
+        """``rounds`` censuses, ``interval`` virtual seconds apart."""
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        taken = []
+        for round_index in range(rounds):
+            if round_index:
+                self.prober.network.clock.advance(self.interval)
+            taken.append(self.observe())
+        return taken
+
+    def _diff(self, before: Snapshot, after: Snapshot) -> None:
+        now = after.timestamp
+        if after.cache_count > before.cache_count:
+            self.events.append(ChangeEvent(now, ChangeKind.CACHES_INCREASED,
+                                           before.cache_count,
+                                           after.cache_count))
+        elif after.cache_count < before.cache_count:
+            self.events.append(ChangeEvent(now, ChangeKind.CACHES_DECREASED,
+                                           before.cache_count,
+                                           after.cache_count))
+        added = after.egress_ips - before.egress_ips
+        removed = before.egress_ips - after.egress_ips
+        if added:
+            self.events.append(ChangeEvent(now, ChangeKind.EGRESS_ADDED,
+                                           before.egress_ips,
+                                           after.egress_ips))
+        if removed:
+            self.events.append(ChangeEvent(now, ChangeKind.EGRESS_REMOVED,
+                                           before.egress_ips,
+                                           after.egress_ips))
+
+    @property
+    def stable(self) -> bool:
+        return not self.events
+
+    def events_of(self, kind: ChangeKind) -> list[ChangeEvent]:
+        return [event for event in self.events if event.kind == kind]

@@ -1,0 +1,163 @@
+"""Off-path cache-poisoning race simulation (paper §II-A).
+
+The motivation section argues that cache enumeration matters because the
+cache count is a security parameter: "Using multiple caches significantly
+increases the difficulty of cache poisoning", both because the challenge
+race must be won per record and because "the spoofed records sent by the
+attacker will be distributed to multiple caches [...] if one of the
+records 'hits' a different cache, the attack fails."
+
+This module models the full attack:
+
+* :class:`AttackerModel` — an off-path attacker landing a burst of spoofed
+  responses per resolution window, guessing the RFC 5452 challenge (TXID
+  and optionally source port);
+* :func:`poison_campaign_probability` — closed form combining the per-race
+  guessing odds with the multi-cache alignment requirement;
+* :func:`simulate_campaign` — Monte Carlo of the same process against a
+  real cache selector, including the "cache already contains the value"
+  constraint: a race only happens when the attacker can trigger an actual
+  resolution (the legitimate record must not be live in the selected
+  cache).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.rrtype import RRType
+from ..dns.name import DnsName, name as make_name
+from ..resolver.selection import CacheSelector, QueryContext
+
+
+@dataclass(frozen=True)
+class AttackerModel:
+    """An off-path spoofing attacker (RFC 5452 threat model)."""
+
+    spoofs_per_window: int          # packets landed inside one resolution
+    txid_bits: int = 16
+    port_bits: int = 0              # 0 = resolver uses a fixed source port
+
+    def __post_init__(self) -> None:
+        if self.spoofs_per_window < 0:
+            raise ValueError("spoof count must be non-negative")
+        if not 0 <= self.txid_bits <= 16 or not 0 <= self.port_bits <= 16:
+            raise ValueError("bits out of range")
+
+    @property
+    def guess_space(self) -> int:
+        return 1 << (self.txid_bits + self.port_bits)
+
+    @property
+    def race_win_probability(self) -> float:
+        """P(one resolution race is won): distinct guesses over the space."""
+        effective = min(self.spoofs_per_window, self.guess_space)
+        return effective / self.guess_space
+
+
+def poison_campaign_probability(n_caches: int, records_needed: int,
+                                attacker: AttackerModel,
+                                attempts: int) -> float:
+    """Closed form for a campaign of ``attempts`` multi-record injections.
+
+    One attempt needs: every one of ``records_needed`` races won
+    (probability ``p_race`` each, independent) *and* all follow-up records
+    routed to the cache that took the first one (``(1/n)^(r−1)`` under
+    uniform selection).
+    """
+    if n_caches < 1 or records_needed < 1 or attempts < 0:
+        raise ValueError("invalid campaign parameters")
+    p_race = attacker.race_win_probability
+    p_attempt = (p_race ** records_needed) * \
+        (1.0 / n_caches) ** (records_needed - 1)
+    return 1.0 - (1.0 - p_attempt) ** attempts
+
+
+def expected_spoofed_packets(n_caches: int, records_needed: int,
+                             attacker: AttackerModel) -> float:
+    """Expected attacker traffic until success — the paper's detection
+    argument: "would need to generate large traffic volumes ... which would
+    lead to detection"."""
+    p_race = attacker.race_win_probability
+    if p_race == 0:
+        return float("inf")
+    p_attempt = (p_race ** records_needed) * \
+        (1.0 / n_caches) ** (records_needed - 1)
+    packets_per_attempt = records_needed * attacker.spoofs_per_window
+    return packets_per_attempt / p_attempt
+
+
+@dataclass
+class CampaignResult:
+    attempts: int
+    successes: int
+    first_success_attempt: Optional[int]
+    races_won: int
+    races_lost: int
+    blocked_by_live_record: int     # no race possible: value already cached
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+
+def simulate_campaign(n_caches: int, selector: CacheSelector,
+                      attacker: AttackerModel,
+                      attempts: int = 1000,
+                      records_needed: int = 2,
+                      legit_record_live_probability: float = 0.0,
+                      rng: Optional[random.Random] = None,
+                      victim: DnsName | str = "victim.example"
+                      ) -> CampaignResult:
+    """Monte Carlo of the §II-A attack against a real selector.
+
+    ``legit_record_live_probability`` models the paper's overwrite
+    obstacle: with this probability the targeted record is already live in
+    the selected cache, so the trigger query is a cache hit and *no race
+    happens at all* for that record this attempt.
+    """
+    if attempts < 1:
+        raise ValueError("need at least one attempt")
+    if not 0.0 <= legit_record_live_probability <= 1.0:
+        raise ValueError("probability out of range")
+    rng = rng or random.Random(0)
+    victim_name = make_name(victim) if isinstance(victim, str) else victim
+
+    result = CampaignResult(attempts=attempts, successes=0,
+                            first_success_attempt=None, races_won=0,
+                            races_lost=0, blocked_by_live_record=0)
+    sequence = 0
+    for attempt in range(1, attempts + 1):
+        target_cache: Optional[int] = None
+        attempt_ok = True
+        for record_index in range(records_needed):
+            sequence += 1
+            context = QueryContext(
+                qname=victim_name.prepend(f"r{record_index}"),
+                qtype=RRType.A, src_ip="198.51.100.66", sequence=sequence)
+            chosen = selector.select(context, n_caches)
+            if rng.random() < legit_record_live_probability:
+                result.blocked_by_live_record += 1
+                attempt_ok = False
+                break
+            # The race: does any spoof guess the live challenge?
+            if rng.random() >= attacker.race_win_probability:
+                result.races_lost += 1
+                attempt_ok = False
+                break
+            result.races_won += 1
+            if target_cache is None:
+                target_cache = chosen
+            elif chosen != target_cache:
+                # Record landed in a different cache: chain broken
+                # ("if one of the records hits a different cache, the
+                # attack fails").
+                attempt_ok = False
+                break
+        if attempt_ok:
+            result.successes += 1
+            if result.first_success_attempt is None:
+                result.first_success_attempt = attempt
+    return result

@@ -1,0 +1,171 @@
+"""Probers: how the CDE injects queries into a target platform.
+
+Paper §IV: "We use a prober to initiate our study by triggering DNS queries
+either directly via the ingress IP address of the DNS resolution platform,
+or indirectly, via email server or web browser."
+
+* :class:`DirectProber` — full control: it owns an IP, talks straight to an
+  ingress address, controls timing and repetition, and sees response RTTs
+  (which the timing side channel needs).
+* :class:`SmtpProber` / :class:`BrowserProber` — indirect access through an
+  application whose local caches sit in the path; a given hostname can be
+  pushed through at most once, and the probe names must be chosen with a
+  bypass technique (:mod:`repro.core.bypass`).
+
+Both indirect probers implement the common :class:`IndirectProber`
+protocol: ``trigger(names)`` pushes each name toward the platform once and
+returns how many probes were actually emitted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..client.browser import Browser
+from ..client.smtp import SmtpServer
+from ..dns.errors import QueryTimeout
+from ..dns.message import DnsMessage
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+from ..net.network import Network, Transaction
+
+
+@dataclass
+class ProbeResult:
+    """One direct probe's outcome."""
+
+    qname: DnsName
+    qtype: RRType
+    delivered: bool
+    rtt: Optional[float] = None
+    transaction: Optional[Transaction] = None
+
+
+class DirectProber:
+    """A measurement host with direct access to ingress IPs."""
+
+    def __init__(self, prober_ip: str, network: Network,
+                 rng: Optional[random.Random] = None,
+                 timeout: float = Network.DEFAULT_TIMEOUT,
+                 retries: int = Network.DEFAULT_RETRIES):
+        self.prober_ip = prober_ip
+        self.network = network
+        self.rng = rng or random.Random(0)
+        self.timeout = timeout
+        self.retries = retries
+        self.queries_sent = 0
+
+    def query(self, ingress_ip: str, qname: DnsName,
+              qtype: RRType = RRType.A,
+              retries: Optional[int] = None) -> Transaction:
+        """One query/response transaction; raises on total loss.
+
+        Truncated (TC) responses are retried over TCP, like any real
+        client.
+        """
+        self.queries_sent += 1
+        message = DnsMessage.make_query(
+            qname, qtype, msg_id=self.rng.randrange(1 << 16),
+        )
+        transaction = self.network.query(
+            self.prober_ip, ingress_ip, message,
+            timeout=self.timeout,
+            retries=self.retries if retries is None else retries,
+        )
+        if transaction.response.truncated and not message.via_tcp:
+            transaction = self.network.query(
+                self.prober_ip, ingress_ip, message.over_tcp(),
+                timeout=self.timeout,
+                retries=self.retries if retries is None else retries,
+            )
+        return transaction
+
+    def probe(self, ingress_ip: str, qname: DnsName,
+              qtype: RRType = RRType.A,
+              retries: Optional[int] = None) -> ProbeResult:
+        """Like :meth:`query` but loss-tolerant: reports delivery status."""
+        try:
+            transaction = self.query(ingress_ip, qname, qtype, retries=retries)
+        except QueryTimeout:
+            return ProbeResult(qname, qtype, delivered=False)
+        return ProbeResult(qname, qtype, delivered=True,
+                           rtt=transaction.rtt, transaction=transaction)
+
+    def probe_many(self, ingress_ip: str, qname: DnsName, count: int,
+                   qtype: RRType = RRType.A,
+                   retries: Optional[int] = None) -> list[ProbeResult]:
+        """``count`` probes for the *same* name — the direct technique's
+        core move (§IV-B1)."""
+        return [self.probe(ingress_ip, qname, qtype, retries=retries)
+                for _ in range(count)]
+
+
+class IndirectProber(Protocol):
+    """Pushes probe names toward a platform through an application."""
+
+    def trigger(self, names: list[DnsName]) -> int:
+        """Cause one lookup per name; returns probes actually emitted."""
+
+
+class SmtpProber:
+    """Indirect prober riding an enterprise's bounce handling (§III-B).
+
+    Each probe name becomes the *sender domain* of a message to a
+    non-existent mailbox: every sender-authentication check and the DSN
+    routing lookup the server performs then carries the probe name into the
+    enterprise's resolution platform.
+    """
+
+    def __init__(self, smtp_server: SmtpServer,
+                 sender_localpart: str = "prober",
+                 rcpt_localpart: str = "no-such-mailbox"):
+        self.smtp_server = smtp_server
+        self.sender_localpart = sender_localpart
+        self.rcpt_localpart = rcpt_localpart
+        self.messages_sent = 0
+
+    def trigger(self, names: list[DnsName]) -> int:
+        emitted = 0
+        for probe_name in names:
+            attempt = self.smtp_server.receive_message(
+                mail_from=f"{self.sender_localpart}@{probe_name}",
+                rcpt_to=f"{self.rcpt_localpart}@{self.smtp_server.domain}",
+            )
+            self.messages_sent += 1
+            if attempt.lookups:
+                emitted += 1
+        return emitted
+
+    @property
+    def lookups_per_probe(self) -> int:
+        """How many DNS lookups this server performs per message."""
+        policy = self.smtp_server.policy
+        count = sum([
+            policy.checks_spf_txt, policy.checks_spf_legacy,
+            policy.checks_adsp, policy.checks_dkim, policy.checks_dmarc,
+        ])
+        if policy.resolves_bounce_mx:
+            count += 2  # MX then A
+        return count
+
+
+class BrowserProber:
+    """Indirect prober riding a web client attracted via the ad network
+    (§III-C).  Each probe name is fetched once as a URL."""
+
+    def __init__(self, browser: Browser, url_path: str = "/t.gif"):
+        self.browser = browser
+        self.url_path = url_path
+        self.urls_fetched: list[str] = []
+
+    def trigger(self, names: list[DnsName]) -> int:
+        emitted = 0
+        for probe_name in names:
+            url = f"http://{probe_name}{self.url_path}"
+            self.urls_fetched.append(url)
+            result = self.browser.fetch(url)
+            if not result.from_browser_cache:
+                emitted += 1
+        return emitted

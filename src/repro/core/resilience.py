@@ -1,0 +1,135 @@
+"""Resilience applications of cache enumeration (paper §II-A, §II-B).
+
+Two tools:
+
+* **Failure detection** (§II-B): "a network operator can identify when some
+  of the caching components fail and are not available, e.g., a DNS
+  platform uses four caches, but our tool measures two, namely two are
+  down."  :func:`detect_cache_failures` compares a baseline census against
+  a fresh one.
+* **Cache-poisoning resilience** (§II-A): "In a multiple cache scenario the
+  difficulty to launch a successful cache poisoning attack increases
+  significantly [...] if one of the records 'hits' a different cache, the
+  attack fails."  :func:`poisoning_success_probability` gives the closed
+  form for an attack needing r records to land in one cache, and
+  :func:`simulate_poisoning_attempts` Monte-Carlos the same process through
+  a real cache selector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.name import name as make_name
+from ..dns.rrtype import RRType
+from ..resolver.selection import CacheSelector, QueryContext
+from .enumeration import enumerate_direct
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+
+# ---------------------------------------------------------------------------
+# failure detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailureReport:
+    baseline_caches: int
+    measured_caches: int
+
+    @property
+    def failed_caches(self) -> int:
+        return max(0, self.baseline_caches - self.measured_caches)
+
+    @property
+    def degraded(self) -> bool:
+        return self.failed_caches > 0
+
+
+def measure_cache_count(cde: CdeInfrastructure, prober: DirectProber,
+                        ingress_ip: str, q: int,
+                        qtype: RRType = RRType.A) -> int:
+    """One census: the direct technique's arrival count."""
+    return enumerate_direct(cde, prober, ingress_ip, q, qtype=qtype).arrivals
+
+
+def detect_cache_failures(cde: CdeInfrastructure, prober: DirectProber,
+                          ingress_ip: str, baseline_caches: int,
+                          q: Optional[int] = None,
+                          qtype: RRType = RRType.A) -> FailureReport:
+    """Compare a fresh census against the known/previous cache count."""
+    from .analysis import queries_for_confidence
+
+    budget = q or queries_for_confidence(max(baseline_caches, 1), 0.999)
+    measured = measure_cache_count(cde, prober, ingress_ip, budget, qtype)
+    return FailureReport(baseline_caches=baseline_caches,
+                         measured_caches=measured)
+
+
+# ---------------------------------------------------------------------------
+# poisoning resilience
+# ---------------------------------------------------------------------------
+
+
+def poisoning_success_probability(n_caches: int, records_needed: int = 2,
+                                  attempts: int = 1) -> float:
+    """Probability that at least one of ``attempts`` multi-record injection
+    attempts lands all its records in the same cache.
+
+    Under unpredictable (uniform) cache selection, each of the
+    ``records_needed`` spoofed records independently hits one of ``n``
+    caches; the attack works only when records 2..r land where record 1
+    did: per-attempt success ``(1/n)^(r−1)``.
+    """
+    if n_caches < 1:
+        raise ValueError("need at least one cache")
+    if records_needed < 1:
+        raise ValueError("need at least one record")
+    if attempts < 0:
+        raise ValueError("attempts must be non-negative")
+    per_attempt = (1.0 / n_caches) ** (records_needed - 1)
+    return 1.0 - (1.0 - per_attempt) ** attempts
+
+
+def expected_attempts_to_poison(n_caches: int, records_needed: int = 2) -> float:
+    """Expected injection attempts until the records align in one cache."""
+    per_attempt = (1.0 / n_caches) ** (records_needed - 1)
+    return 1.0 / per_attempt
+
+
+def simulate_poisoning_attempts(selector: CacheSelector, n_caches: int,
+                                records_needed: int = 2,
+                                attempts: int = 1000,
+                                rng: Optional[random.Random] = None,
+                                attacker_ip: str = "192.0.2.66") -> int:
+    """Monte-Carlo the attack against a real cache-selection strategy.
+
+    Each attempt sends ``records_needed`` related spoofed answers (e.g. an
+    NS record and then the A record exploiting it); the attempt succeeds
+    when the selector routes every one to the same cache.  Returns the
+    number of successful attempts — note how *predictable* selectors
+    (qname-hash on a fixed name, round robin with known phase) can be far
+    weaker than the uniform bound.
+    """
+    rng = rng or random.Random(0)
+    successes = 0
+    sequence = 0
+    qname = make_name("victim.example")
+    for _ in range(attempts):
+        first: Optional[int] = None
+        aligned = True
+        for _ in range(records_needed):
+            sequence += 1
+            context = QueryContext(qname=qname, qtype=RRType.A,
+                                   src_ip=attacker_ip, sequence=sequence)
+            chosen = selector.select(context, n_caches)
+            if first is None:
+                first = chosen
+            elif chosen != first:
+                aligned = False
+        if aligned:
+            successes += 1
+    return successes

@@ -1,0 +1,138 @@
+"""Cache-selection strategy inference (the paper's future work, §IV-A).
+
+"We also identified more complex cache selection strategies, e.g., those
+that look not only at the volume of the arriving DNS queries but are also
+a function of a requested domain in the query or of a source IP in a DNS
+request.  A comprehensive study of cache selection algorithms is outside
+the scope of this study and we propose it as one of the interesting
+followup topics for future work."
+
+This module is that follow-up, for the strategy *classes* the paper names.
+All evidence comes from arrival counting at the CDE nameserver:
+
+1. **Same-name census** ω₁: q probes of one fresh name from one source.
+   Deterministic per-name/per-source strategies pin a single cache
+   (ω₁ = 1); rotating and random strategies expose the pool (ω₁ = n).
+2. **Multi-source census** ω₂: the same fresh name probed once from k
+   different source addresses.  Source-keyed strategies fan out
+   (ω₂ > 1); name-keyed strategies stay pinned (ω₂ = 1).
+3. **Determinism trials**: with the pool size n = ω₁ known, probe a fresh
+   name exactly n times, repeatedly.  A rotation covers all n caches in
+   every trial; uniform random covers them with probability n!/nⁿ only
+   (9.4% at n = 4), so a few trials separate the two.
+
+A name-keyed strategy over n caches and a genuine single-cache platform
+are *observationally equivalent* to one probe source and one name — both
+pin everything to one cache — so the classifier reports
+``PINNED_PER_NAME_OR_SINGLE_CACHE`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dns.rrtype import RRType
+from ..net.network import Network
+from .analysis import queries_for_confidence
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+
+class SelectorClass(enum.Enum):
+    ROTATING = "rotating"                     # round robin / least-loaded
+    UNPREDICTABLE = "unpredictable"           # (sticky-)random
+    SOURCE_KEYED = "source-keyed"             # hash over the client address
+    PINNED_PER_NAME_OR_SINGLE_CACHE = "per-name-or-single-cache"
+
+
+@dataclass
+class SelectorInference:
+    inferred: SelectorClass
+    same_name_census: int              # omega_1
+    multi_source_census: int           # omega_2
+    determinism_trials: list[int] = field(default_factory=list)
+    queries_spent: int = 0
+
+    @property
+    def is_unpredictable(self) -> bool:
+        return self.inferred == SelectorClass.UNPREDICTABLE
+
+
+def _extra_sources(network: Network, count: int,
+                   base: str = "192.0.2.") -> list[str]:
+    """Provision additional prober source addresses on the network."""
+    from ..study.internet import SinkEndpoint
+
+    sources = []
+    for offset in range(count):
+        ip = f"{base}{100 + offset}"
+        if not network.is_registered(ip):
+            network.register(ip, SinkEndpoint())
+        sources.append(ip)
+    return sources
+
+
+def infer_selector(cde: CdeInfrastructure, prober: DirectProber,
+                   ingress_ip: str,
+                   n_hint: int = 8,
+                   confidence: float = 0.99,
+                   source_count: int = 8,
+                   determinism_trials: int = 5,
+                   qtype: RRType = RRType.A) -> SelectorInference:
+    """Classify the load balancer behind ``ingress_ip``."""
+    network = prober.network
+    queries_before = prober.queries_sent
+    budget = queries_for_confidence(n_hint, confidence)
+
+    # Evidence 1: same-name census from one source.
+    probe_name = cde.unique_name("sel-same")
+    since = network.clock.now
+    for _ in range(budget):
+        prober.probe(ingress_ip, probe_name, qtype)
+    omega_1 = cde.count_queries_for(probe_name, since=since, qtype=qtype)
+
+    # Evidence 2: one fresh name probed from many source addresses.
+    multi_name = cde.unique_name("sel-multi")
+    since = network.clock.now
+    sources = _extra_sources(network, source_count)
+    rounds = max(1, budget // source_count)
+    multi_source_queries = 0
+    for _ in range(rounds):
+        for source_ip in sources:
+            source_prober = DirectProber(source_ip, network, rng=prober.rng)
+            source_prober.probe(ingress_ip, multi_name, qtype)
+            multi_source_queries += 1
+    omega_2 = cde.count_queries_for(multi_name, since=since, qtype=qtype)
+
+    trials: list[int] = []
+    if omega_1 <= 1:
+        inferred = (SelectorClass.SOURCE_KEYED if omega_2 > 1
+                    else SelectorClass.PINNED_PER_NAME_OR_SINGLE_CACHE)
+    else:
+        # Evidence 3: can exactly n probes ever miss a cache?
+        n = omega_1
+        for _ in range(determinism_trials):
+            trial_name = cde.unique_name("sel-det")
+            since = network.clock.now
+            for _ in range(n):
+                prober.probe(ingress_ip, trial_name, qtype)
+            trials.append(cde.count_queries_for(trial_name, since=since,
+                                                qtype=qtype))
+        always_full = all(count == n for count in trials)
+        # P(random covers n caches in n probes every time) = (n!/n^n)^T.
+        false_positive = (math.factorial(n) / n ** n) ** determinism_trials
+        inferred = (SelectorClass.ROTATING
+                    if always_full and false_positive < 0.05
+                    else SelectorClass.UNPREDICTABLE)
+
+    return SelectorInference(
+        inferred=inferred,
+        same_name_census=omega_1,
+        multi_source_census=omega_2,
+        determinism_trials=trials,
+        queries_spent=(prober.queries_sent - queries_before
+                       + multi_source_queries),
+    )

@@ -1,0 +1,186 @@
+"""Full-study orchestration: one platform, all techniques, one report.
+
+:class:`CdeStudy` strings the individual techniques together the way the
+paper's Internet measurement did: estimate path loss → size the carpet →
+enumerate caches (init/validate, refined by the direct method) → cluster
+the ingress IPs → census the egress IPs.  The output,
+:class:`PlatformReport`, is the per-platform row the study harness
+aggregates into the paper's Figures 3–8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dns.rrtype import RRType
+from .analysis import recommended_seed_count
+from .carpet import CarpetProber, LossEstimate, carpet_k, estimate_loss
+from .enumeration import (
+    DirectEnumerationResult,
+    TwoPhaseEnumerationResult,
+    enumerate_adaptive,
+    enumerate_two_phase,
+)
+from .infrastructure import CdeInfrastructure
+from .mapping import (
+    EgressDiscoveryResult,
+    IngressMappingResult,
+    discover_egress_ips,
+    map_ingress_to_clusters,
+)
+from .prober import DirectProber
+
+
+@dataclass
+class StudyParameters:
+    """Knobs for one platform study."""
+
+    n_hint: int = 8                 # prior on caches per pool
+    seed_multiplier: float = 2.0    # N = multiplier · n_hint (§V-B: N = 2n)
+    confidence: float = 0.99
+    loss_calibration_probes: int = 30
+    egress_probes: int = 32
+    membership_probes: int = 3
+    max_direct_queries: int = 1024
+    qtype: RRType = RRType.A
+    # Optional extra phases.
+    infer_selector: bool = False        # §IV-A future work
+    fingerprint_software: bool = False  # §II-C software inventory
+    timing_crosscheck: bool = False     # §IV-B3 against the log census
+
+
+@dataclass
+class PlatformReport:
+    """Everything the CDE measured about one platform."""
+
+    ingress_ips_tested: list[str]
+    loss: Optional[LossEstimate] = None
+    carpet_k: int = 1
+    two_phase: Optional[TwoPhaseEnumerationResult] = None
+    direct: Optional[DirectEnumerationResult] = None
+    ingress_mapping: Optional[IngressMappingResult] = None
+    egress: Optional[EgressDiscoveryResult] = None
+    selector_inference: Optional[object] = None      # SelectorInference
+    fingerprints: list = field(default_factory=list)  # FingerprintResult
+    timing: Optional[object] = None                  # TimingEnumerationResult
+    queries_sent: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def cache_count(self) -> int:
+        """Best available cache-count estimate.
+
+        The direct-refinement census (exact arrival counting under a
+        coupon-collector budget) outranks the init/validate statistical
+        estimate, which is unbiased but noisy at small seed counts.
+        """
+        if self.direct is not None:
+            return self.direct.cache_count
+        if self.two_phase is not None:
+            return self.two_phase.cache_count
+        return 0
+
+    @property
+    def n_ingress_clusters(self) -> int:
+        return self.ingress_mapping.n_clusters if self.ingress_mapping else 0
+
+    @property
+    def n_egress_ips(self) -> int:
+        return self.egress.n_egress if self.egress else 0
+
+
+class CdeStudy:
+    """Runs the complete methodology against one platform."""
+
+    def __init__(self, cde: CdeInfrastructure, prober: DirectProber,
+                 parameters: Optional[StudyParameters] = None):
+        self.cde = cde
+        self.prober = prober
+        self.parameters = parameters or StudyParameters()
+
+    def run(self, ingress_ips: list[str],
+            map_ingress: bool = True,
+            discover_egress: bool = True) -> PlatformReport:
+        if not ingress_ips:
+            raise ValueError("need at least one ingress IP to study")
+        params = self.parameters
+        report = PlatformReport(ingress_ips_tested=list(ingress_ips))
+        primary_ip = ingress_ips[0]
+        queries_at_start = self.prober.queries_sent
+
+        # Phase 0: path loss and carpet sizing (§V).
+        loss_name = self.cde.unique_name("loss")
+        report.loss = estimate_loss(self.prober, primary_ip, loss_name,
+                                    probes=params.loss_calibration_probes)
+        report.carpet_k = carpet_k(report.loss.rate, params.confidence)
+        prober = (CarpetProber(self.prober, report.carpet_k)
+                  if report.carpet_k > 1 else self.prober)
+        if report.carpet_k > 1:
+            report.notes.append(
+                f"packet loss {report.loss.rate:.1%}; carpet bombing with "
+                f"K={report.carpet_k}")
+
+        # Phase 1: init/validate enumeration (§V-B).
+        seeds = recommended_seed_count(params.n_hint, params.seed_multiplier)
+        report.two_phase = enumerate_two_phase(
+            self.cde, prober, primary_ip, seeds, qtype=params.qtype)
+
+        # Phase 2: direct refinement, budgeted by the coupon-collector bound
+        # for the estimate from phase 1.
+        report.direct = enumerate_adaptive(
+            self.cde, prober, primary_ip,
+            initial_q=max(4, report.two_phase.cache_count),
+            confidence=params.confidence,
+            max_q=params.max_direct_queries,
+            qtype=params.qtype,
+        )
+
+        # Phase 3: ingress clustering (§IV-B1b).
+        if map_ingress:
+            report.ingress_mapping = map_ingress_to_clusters(
+                self.cde, prober, ingress_ips,
+                n_hint=max(params.n_hint, report.cache_count),
+                membership_probes=params.membership_probes,
+                confidence=params.confidence,
+                qtype=params.qtype,
+            )
+
+        # Phase 4: egress census.
+        if discover_egress:
+            report.egress = discover_egress_ips(
+                self.cde, prober, primary_ip,
+                probes=params.egress_probes, qtype=params.qtype)
+
+        # Optional phases.
+        if params.infer_selector:
+            from .selector_inference import infer_selector
+
+            report.selector_inference = infer_selector(
+                self.cde, self.prober, primary_ip,
+                n_hint=max(params.n_hint, report.cache_count or 1),
+                confidence=params.confidence, qtype=params.qtype)
+            report.notes.append(
+                f"selector class: {report.selector_inference.inferred.value}")
+        if params.fingerprint_software:
+            from .fingerprint import fingerprint_platform
+
+            report.fingerprints = fingerprint_platform(
+                self.cde, self.prober, primary_ip,
+                samples=max(3, report.cache_count))
+        if params.timing_crosscheck:
+            from .analysis import queries_for_confidence
+            from .timing import enumerate_by_timing
+
+            report.timing = enumerate_by_timing(
+                self.cde, self.prober, primary_ip,
+                probes=queries_for_confidence(
+                    max(report.cache_count, 1), params.confidence),
+                qtype=params.qtype)
+            if report.timing.cache_count != report.cache_count:
+                report.notes.append(
+                    f"timing census ({report.timing.cache_count}) disagrees "
+                    f"with log census ({report.cache_count})")
+
+        report.queries_sent = self.prober.queries_sent - queries_at_start
+        return report

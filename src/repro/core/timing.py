@@ -1,0 +1,258 @@
+"""Indirect egress access: the timing side channel (paper §IV-B3).
+
+When the CDE cannot observe queries at a nameserver (no controlled domain,
+or "it is desirable not to leave traces in the logs"), caches are counted
+from response *latency* alone:
+
+1. "We force all the caches to store a honey record [...] utilising
+   sufficient redundancy to ensure that all caches are covered, e.g.,
+   issuing 100 queries."
+2. The prober measures response latency for the honey record (cached —
+   fast) vs. fresh names ("a honey record with a random subdomain prepended
+   to it" — uncached, slow) to calibrate a hit/miss classifier.
+3. Probing a *fresh* test name repeatedly, each cache contributes exactly
+   one miss-latency response before turning fast; "count the number of
+   times the latency of the response corresponds to an uncached latency —
+   this number corresponds to the amount of caches."
+
+Nothing in this module reads a query log.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+from .analysis import CacheCountEstimate, estimate_from_occupancy
+from .infrastructure import CdeInfrastructure
+from .prober import DirectProber
+
+#: The paper's example seeding redundancy: "e.g., issuing 100 queries".
+DEFAULT_SEEDING_QUERIES = 100
+
+
+@dataclass
+class LatencyClassifier:
+    """Separates cache-hit from cache-miss response times."""
+
+    threshold: float
+    hit_samples: list[float] = field(default_factory=list, repr=False)
+    miss_samples: list[float] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def fit(cls, hit_samples: list[float],
+            miss_samples: list[float]) -> "LatencyClassifier":
+        """Threshold between the two latency populations.
+
+        Uses the midpoint between the hit distribution's high quantile and
+        the miss distribution's low quantile; falls back to the midpoint of
+        medians when the populations overlap.
+        """
+        if not hit_samples or not miss_samples:
+            raise ValueError("need samples from both populations")
+        hit_high = _quantile(hit_samples, 0.95)
+        miss_low = _quantile(miss_samples, 0.05)
+        if hit_high < miss_low:
+            threshold = (hit_high + miss_low) / 2.0
+        else:
+            threshold = (statistics.median(hit_samples) +
+                         statistics.median(miss_samples)) / 2.0
+        return cls(threshold=threshold, hit_samples=list(hit_samples),
+                   miss_samples=list(miss_samples))
+
+    def is_miss(self, rtt: float) -> bool:
+        return rtt > self.threshold
+
+    @property
+    def separation(self) -> float:
+        """Gap between the populations, in units of pooled spread.
+
+        Values above ~2 mean the channel is reliable; near 0 it is noise.
+        """
+        hit_med = statistics.median(self.hit_samples)
+        miss_med = statistics.median(self.miss_samples)
+        spread = (_mad(self.hit_samples) + _mad(self.miss_samples)) or 1e-9
+        return (miss_med - hit_med) / spread
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _mad(samples: list[float]) -> float:
+    med = statistics.median(samples)
+    return statistics.median(abs(sample - med) for sample in samples)
+
+
+@dataclass
+class TimingCalibration:
+    classifier: LatencyClassifier
+    honey_name: DnsName
+    seeding_queries: int
+
+
+@dataclass
+class TimingEnumerationResult:
+    probe_name: DnsName
+    probes_sent: int
+    delivered: int
+    miss_latency_count: int
+    estimate: CacheCountEstimate
+    classifier: LatencyClassifier
+
+    @property
+    def cache_count(self) -> int:
+        return self.estimate.rounded
+
+
+def split_bimodal(samples: list[float]) -> tuple[float, int]:
+    """Split one latency population into fast/slow at the largest gap.
+
+    Used when no labelled calibration is possible (fully indirect access):
+    returns ``(threshold, slow_count)``.  The threshold sits in the middle
+    of the widest gap between consecutive sorted samples; everything above
+    it is 'slow'.  With fewer than two samples, nothing is slow.
+    """
+    if len(samples) < 2:
+        return (float("inf"), 0)
+    ordered = sorted(samples)
+    best_gap = -1.0
+    threshold = float("inf")
+    slow_from = len(ordered)
+    for index in range(len(ordered) - 1):
+        gap = ordered[index + 1] - ordered[index]
+        if gap > best_gap:
+            best_gap = gap
+            threshold = (ordered[index] + ordered[index + 1]) / 2.0
+            slow_from = index + 1
+    return (threshold, len(ordered) - slow_from)
+
+
+def calibrate_timing(cde: CdeInfrastructure, prober: DirectProber,
+                     ingress_ip: str, samples: int = 20,
+                     seeding_queries: int = DEFAULT_SEEDING_QUERIES,
+                     qtype: RRType = RRType.A) -> TimingCalibration:
+    """Build the hit/miss latency classifier for one ingress IP."""
+    if samples < 3:
+        raise ValueError("need at least 3 calibration samples")
+    honey_name = cde.unique_name("timing-honey")
+    for _ in range(seeding_queries):
+        prober.probe(ingress_ip, honey_name, qtype)
+
+    hit_samples: list[float] = []
+    while len(hit_samples) < samples:
+        result = prober.probe(ingress_ip, honey_name, qtype)
+        if result.delivered and result.rtt is not None:
+            hit_samples.append(result.rtt)
+
+    miss_samples: list[float] = []
+    while len(miss_samples) < samples:
+        # "a honey record with a random subdomain prepended to it"
+        fresh = cde.unique_name("timing-fresh")
+        result = prober.probe(ingress_ip, fresh, qtype)
+        if result.delivered and result.rtt is not None:
+            miss_samples.append(result.rtt)
+
+    classifier = LatencyClassifier.fit(hit_samples, miss_samples)
+    return TimingCalibration(classifier=classifier, honey_name=honey_name,
+                             seeding_queries=seeding_queries)
+
+
+def enumerate_by_timing(cde: CdeInfrastructure, prober: DirectProber,
+                        ingress_ip: str,
+                        calibration: Optional[TimingCalibration] = None,
+                        probes: int = 50,
+                        qtype: RRType = RRType.A) -> TimingEnumerationResult:
+    """Count caches from latency alone (no nameserver-log access).
+
+    A fresh name is probed ``probes`` times; each response classified as
+    miss-latency reveals a previously untouched cache.
+    """
+    if probes < 1:
+        raise ValueError("need at least one probe")
+    if calibration is None:
+        calibration = calibrate_timing(cde, prober, ingress_ip)
+    classifier = calibration.classifier
+
+    probe_name = cde.unique_name("timing-count")
+    delivered = 0
+    miss_count = 0
+    for _ in range(probes):
+        result = prober.probe(ingress_ip, probe_name, qtype)
+        if not result.delivered or result.rtt is None:
+            continue
+        delivered += 1
+        if classifier.is_miss(result.rtt):
+            miss_count += 1
+
+    estimate = CacheCountEstimate(
+        estimate=(estimate_from_occupancy(max(delivered, 1), miss_count)
+                  if miss_count else 0.0),
+        lower_bound=miss_count,
+        queries_sent=probes,
+        arrivals=miss_count,
+    )
+    return TimingEnumerationResult(
+        probe_name=probe_name, probes_sent=probes, delivered=delivered,
+        miss_latency_count=miss_count, estimate=estimate,
+        classifier=classifier,
+    )
+
+
+@dataclass
+class IndirectTimingResult:
+    """Fully indirect timing census: no log access, no direct queries."""
+
+    probes_sent: int
+    samples: list[float]
+    threshold: float
+    slow_count: int
+    estimate: CacheCountEstimate
+
+    @property
+    def cache_count(self) -> int:
+        return self.estimate.rounded
+
+
+def enumerate_by_timing_indirect(cde: CdeInfrastructure, browser,
+                                 q: int) -> IndirectTimingResult:
+    """§IV-B3's indirect-ingress variant.
+
+    "When an indirect ingress access is provided, the study depends on
+    locating domains with a structure similar to those described in
+    Section IV-B2" — i.e. a delegated hierarchy.  Each of q distinct leaf
+    names is fetched once through a *browser* (local caches never repeat);
+    every fetch is a platform-cache miss for the leaf, but a cache that has
+    not yet learned the delegation pays an extra referral round trip.  The
+    slow-latency fetches therefore count the caches, with no nameserver-log
+    access and no directly issued DNS query.
+
+    ``browser`` is a :class:`~repro.client.browser.Browser`; latencies come
+    from its fetch results.
+    """
+    if q < 2:
+        raise ValueError("need at least two probes to split latencies")
+    hierarchy = cde.setup_names_hierarchy(q)
+    samples: list[float] = []
+    for leaf in hierarchy.names:
+        result = browser.fetch(f"http://{leaf}/probe.gif")
+        if result.resolved and not result.from_browser_cache and \
+                not result.from_os_cache:
+            samples.append(result.dns_rtt)
+    threshold, slow_count = split_bimodal(samples)
+    estimate = CacheCountEstimate(
+        estimate=(estimate_from_occupancy(max(len(samples), 1), slow_count)
+                  if slow_count else 0.0),
+        lower_bound=slow_count,
+        queries_sent=q,
+        arrivals=slow_count,
+    )
+    return IndirectTimingResult(
+        probes_sent=q, samples=samples, threshold=threshold,
+        slow_count=slow_count, estimate=estimate,
+    )

@@ -1,0 +1,56 @@
+"""DNS protocol substrate: names, records, messages, zones, wire format."""
+
+from .errors import (
+    CnameLoopError,
+    DnsError,
+    NetworkUnreachable,
+    QueryTimeout,
+    ReferralLoopError,
+    ResolutionError,
+    WireFormatError,
+    ZoneError,
+    ZoneParseError,
+)
+from .message import DnsMessage, Question
+from .name import ROOT, DnsName, name
+from .record import (
+    AaaaRdata,
+    ARdata,
+    CnameRdata,
+    MxRdata,
+    NsRdata,
+    OpaqueRdata,
+    PtrRdata,
+    Rdata,
+    ResourceRecord,
+    RRSet,
+    SoaRdata,
+    SrvRdata,
+    TxtRdata,
+    a_record,
+    aaaa_record,
+    cname_record,
+    group_rrsets,
+    mx_record,
+    ns_record,
+    soa_record,
+    spf_record,
+    txt_record,
+)
+from .rrtype import MAIL_MECHANISM_QTYPES, Opcode, RCode, RRClass, RRType
+from .wire import decode_message, encode_message, message_wire_size
+from .zone import LookupKind, LookupResult, Zone, parse_zone_text, zone_to_text
+
+__all__ = [
+    "AaaaRdata", "ARdata", "CnameLoopError", "CnameRdata", "DnsError",
+    "DnsMessage", "DnsName", "LookupKind", "LookupResult",
+    "MAIL_MECHANISM_QTYPES", "MxRdata", "NetworkUnreachable", "NsRdata",
+    "Opcode", "OpaqueRdata", "PtrRdata", "QueryTimeout", "Question", "RCode",
+    "ROOT", "RRClass", "RRSet", "RRType", "Rdata", "ReferralLoopError",
+    "ResolutionError", "ResourceRecord", "SoaRdata", "SrvRdata", "TxtRdata",
+    "WireFormatError", "Zone", "ZoneError", "ZoneParseError", "a_record",
+    "aaaa_record", "cname_record", "decode_message", "encode_message",
+    "group_rrsets", "message_wire_size", "mx_record", "name", "ns_record",
+    "parse_zone_text", "soa_record", "spf_record", "txt_record",
+    "zone_to_text",
+]

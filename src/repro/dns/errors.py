@@ -1,0 +1,48 @@
+"""Exception hierarchy for the DNS substrate.
+
+Every error raised by :mod:`repro.dns` derives from :class:`DnsError`, so
+callers can catch protocol-level problems with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for all DNS substrate errors."""
+
+
+class NameError_(DnsError):
+    """A domain name is syntactically invalid (label/length limits)."""
+
+
+class WireFormatError(DnsError):
+    """A DNS message could not be encoded to, or decoded from, wire format."""
+
+
+class ZoneError(DnsError):
+    """Zone data is inconsistent (missing SOA, out-of-bailiwick record...)."""
+
+
+class ZoneParseError(ZoneError):
+    """A textual zone fragment could not be parsed."""
+
+
+class ResolutionError(DnsError):
+    """Recursive/iterative resolution failed (SERVFAIL equivalent)."""
+
+
+class CnameLoopError(ResolutionError):
+    """A CNAME chain loops or exceeds the permitted length."""
+
+
+class ReferralLoopError(ResolutionError):
+    """Delegations loop or exceed the permitted depth."""
+
+
+class NetworkUnreachable(DnsError):
+    """No endpoint is registered for the destination IP address."""
+
+
+class QueryTimeout(DnsError):
+    """A query (or every retransmission of it) was lost in the network."""

@@ -1,0 +1,177 @@
+"""Domain names.
+
+:class:`DnsName` models an absolute DNS domain name as a tuple of labels,
+ordered left to right exactly as written (``www.example.com`` has labels
+``("www", "example", "com")``).  Comparison and hashing are case-insensitive
+per RFC 1035 §2.3.3; the original spelling is preserved for display.
+
+The class supports the small algebra the rest of the library needs:
+parent/ancestor walks, subdomain tests, relativisation and concatenation.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+from .errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 253  # presentation form, excluding the trailing dot
+
+
+def _validate_label(label: str) -> None:
+    if not label:
+        raise NameError_("empty label")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label too long ({len(label)} > {MAX_LABEL_LENGTH}): {label!r}")
+    if "." in label:
+        raise NameError_(f"label contains a dot: {label!r}")
+
+
+@total_ordering
+class DnsName:
+    """An absolute domain name.
+
+    Instances are immutable and usable as dictionary keys.  Build one from
+    text with :meth:`from_text` (or the module-level :func:`name` helper),
+    or from labels with the constructor.
+    """
+
+    __slots__ = ("_labels", "_folded")
+
+    def __init__(self, labels: Iterable[str]):
+        labels = tuple(labels)
+        for label in labels:
+            _validate_label(label)
+        text_len = sum(len(lab) for lab in labels) + max(len(labels) - 1, 0)
+        if text_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({text_len} > {MAX_NAME_LENGTH})")
+        self._labels = labels
+        self._folded = tuple(lab.lower() for lab in labels)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "DnsName":
+        """Parse presentation format.  A trailing dot is accepted; ``.`` and
+        the empty string denote the root name."""
+        text = text.strip()
+        if text in (".", ""):
+            return ROOT
+        if text.endswith("."):
+            text = text[:-1]
+        return cls(text.split("."))
+
+    @classmethod
+    def root(cls) -> "DnsName":
+        return ROOT
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    def __str__(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(self._labels)
+
+    def __repr__(self) -> str:
+        return f"DnsName({str(self)!r})"
+
+    def __hash__(self) -> int:
+        return hash(self._folded)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            other = DnsName.from_text(other)
+        if not isinstance(other, DnsName):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __lt__(self, other: "DnsName") -> bool:
+        if not isinstance(other, DnsName):
+            return NotImplemented
+        # Canonical DNS ordering compares names right to left (by zone depth).
+        return tuple(reversed(self._folded)) < tuple(reversed(other._folded))
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    # -- algebra ------------------------------------------------------------
+
+    def is_root(self) -> bool:
+        return not self._labels
+
+    @property
+    def parent(self) -> "DnsName":
+        """The name with the leftmost label removed; the root's parent is
+        the root itself."""
+        if not self._labels:
+            return self
+        return DnsName(self._labels[1:])
+
+    def ancestors(self, include_self: bool = False) -> Iterator["DnsName"]:
+        """Yield ancestors from closest to the root (the root included)."""
+        current = self if include_self else self.parent
+        while True:
+            yield current
+            if current.is_root():
+                return
+            current = current.parent
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """True when ``self`` equals ``other`` or sits below it."""
+        if len(other._folded) > len(self._folded):
+            return False
+        if not other._folded:
+            return True
+        return self._folded[-len(other._folded):] == other._folded
+
+    def is_strict_subdomain_of(self, other: "DnsName") -> bool:
+        return self != other and self.is_subdomain_of(other)
+
+    def relativize(self, origin: "DnsName") -> tuple[str, ...]:
+        """Labels of ``self`` below ``origin``.
+
+        Raises :class:`NameError_` when ``self`` is not under ``origin``.
+        """
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        if origin.is_root():
+            return self._labels
+        return self._labels[: len(self._labels) - len(origin._labels)]
+
+    def prepend(self, *labels: str) -> "DnsName":
+        """Return a new name with ``labels`` added on the left."""
+        return DnsName(tuple(labels) + self._labels)
+
+    def concatenate(self, suffix: "DnsName") -> "DnsName":
+        return DnsName(self._labels + suffix._labels)
+
+    def depth_below(self, origin: "DnsName") -> int:
+        """Number of labels of ``self`` below ``origin``."""
+        return len(self.relativize(origin))
+
+    def split_child_of(self, origin: "DnsName") -> "DnsName":
+        """The direct child of ``origin`` on the path towards ``self``.
+
+        ``a.b.sub.example`` split at ``example`` gives ``sub.example``.
+        """
+        rel = self.relativize(origin)
+        if not rel:
+            raise NameError_(f"{self} equals {origin}; no child to split")
+        return origin.prepend(rel[-1])
+
+
+ROOT = DnsName(())
+
+
+def name(text: str) -> DnsName:
+    """Shorthand for :meth:`DnsName.from_text`."""
+    return DnsName.from_text(text)

@@ -1,0 +1,375 @@
+"""Authoritative zone data and lookup semantics.
+
+A :class:`Zone` stores the RRsets of one zone cut and answers the question
+"what does an authoritative server say for (qname, qtype)?" with a
+:class:`LookupResult` of one of five kinds:
+
+* ``ANSWER``   — the RRset exists at the qname.
+* ``CNAME``    — a CNAME exists at the qname and the qtype is not CNAME.
+* ``REFERRAL`` — the qname falls under a delegation point inside the zone;
+  the result carries the NS RRset and in-zone glue.
+* ``NODATA``   — the name exists but has no RRset of the qtype.
+* ``NXDOMAIN`` — the name does not exist.
+
+Wildcards (``*`` leftmost label) are supported with RFC 1034 §4.3.3
+semantics: a wildcard synthesises records for any name that would otherwise
+not exist, unless a more specific name (or delegation) intervenes.
+
+:func:`parse_zone_text` parses the zone-fragment syntax the paper uses
+(``$ORIGIN``, ``name IN TYPE rdata`` lines) so that the examples can be
+written exactly like Section IV-B2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .errors import ZoneError, ZoneParseError
+from .name import DnsName, name as make_name
+from .record import (
+    AaaaRdata,
+    ARdata,
+    CnameRdata,
+    MxRdata,
+    NsRdata,
+    OpaqueRdata,
+    PtrRdata,
+    ResourceRecord,
+    RRSet,
+    SoaRdata,
+    SrvRdata,
+    TxtRdata,
+    group_rrsets,
+)
+from .rrtype import RRClass, RRType
+
+WILDCARD_LABEL = "*"
+
+
+class LookupKind(enum.Enum):
+    ANSWER = "answer"
+    CNAME = "cname"
+    REFERRAL = "referral"
+    NODATA = "nodata"
+    NXDOMAIN = "nxdomain"
+
+
+@dataclass
+class LookupResult:
+    kind: LookupKind
+    rrset: Optional[RRSet] = None          # ANSWER / CNAME payload
+    authority: list[ResourceRecord] = field(default_factory=list)
+    additional: list[ResourceRecord] = field(default_factory=list)
+    soa: Optional[ResourceRecord] = None   # negative answers
+
+    @property
+    def records(self) -> list[ResourceRecord]:
+        return list(self.rrset) if self.rrset else []
+
+
+class Zone:
+    """One zone cut with its RRsets.
+
+    ``origin`` is the apex.  Records for names outside the zone are
+    rejected.  NS RRsets owned by names *below* the apex are delegation
+    points; lookups under them yield referrals.
+    """
+
+    def __init__(self, origin: DnsName | str):
+        if isinstance(origin, str):
+            origin = make_name(origin)
+        self.origin = origin
+        self._rrsets: dict[tuple[DnsName, RRType], RRSet] = {}
+        self._names: set[DnsName] = set()
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_record(self, record: ResourceRecord) -> None:
+        if not record.name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{record.name} is out of zone {self.origin}")
+        key = (record.name, record.rtype)
+        existing_cname = self._rrsets.get((record.name, RRType.CNAME))
+        if record.rtype == RRType.CNAME:
+            owns_others = any(
+                rname == record.name and rtype != RRType.CNAME
+                for (rname, rtype) in self._rrsets
+            )
+            if owns_others:
+                raise ZoneError(f"CNAME at {record.name} conflicts with other data")
+        elif existing_cname is not None:
+            raise ZoneError(f"{record.name} already holds a CNAME")
+        rrset = self._rrsets.get(key)
+        if rrset is None:
+            rrset = RRSet(record.name, record.rtype)
+            self._rrsets[key] = rrset
+        rrset.add(record)
+        self._names.add(record.name)
+
+    def add_records(self, records: Iterable[ResourceRecord]) -> None:
+        for record in records:
+            self.add_record(record)
+
+    def remove_rrset(self, owner: DnsName, rtype: RRType) -> None:
+        self._rrsets.pop((owner, rtype), None)
+        if not any(rname == owner for (rname, _) in self._rrsets):
+            self._names.discard(owner)
+
+    # -- inspection -------------------------------------------------------------
+
+    def get_rrset(self, owner: DnsName, rtype: RRType) -> Optional[RRSet]:
+        return self._rrsets.get((owner, rtype))
+
+    def rrsets(self) -> list[RRSet]:
+        return list(self._rrsets.values())
+
+    def names(self) -> set[DnsName]:
+        return set(self._names)
+
+    @property
+    def soa(self) -> Optional[ResourceRecord]:
+        rrset = self._rrsets.get((self.origin, RRType.SOA))
+        if rrset and rrset.records:
+            return rrset.records[0]
+        return None
+
+    def name_exists(self, qname: DnsName) -> bool:
+        """Whether the name exists, including as an empty non-terminal."""
+        if qname in self._names:
+            return True
+        return any(existing.is_strict_subdomain_of(qname) for existing in self._names)
+
+    def __contains__(self, qname: DnsName) -> bool:
+        return self.name_exists(qname)
+
+    # -- delegation -------------------------------------------------------------
+
+    def delegation_point_for(self, qname: DnsName) -> Optional[DnsName]:
+        """The closest delegation at or above ``qname`` (below the apex)."""
+        if not qname.is_subdomain_of(self.origin):
+            return None
+        current = qname
+        best: Optional[DnsName] = None
+        while current.is_subdomain_of(self.origin) and current != self.origin:
+            if (current, RRType.NS) in self._rrsets:
+                best = current
+            if current.is_root():
+                break
+            current = current.parent
+        return best
+
+    def _glue_for(self, ns_rrset: RRSet) -> list[ResourceRecord]:
+        glue: list[ResourceRecord] = []
+        for record in ns_rrset:
+            assert isinstance(record.rdata, NsRdata)
+            target = record.rdata.nsdname
+            for rtype in (RRType.A, RRType.AAAA):
+                rrset = self._rrsets.get((target, rtype))
+                if rrset:
+                    glue.extend(rrset)
+        return glue
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, qname: DnsName, qtype: RRType) -> LookupResult:
+        if not qname.is_subdomain_of(self.origin):
+            raise ZoneError(f"{qname} is not within zone {self.origin}")
+
+        delegation = self.delegation_point_for(qname)
+        if delegation is not None:
+            ns_rrset = self._rrsets[(delegation, RRType.NS)]
+            return LookupResult(
+                LookupKind.REFERRAL,
+                authority=list(ns_rrset),
+                additional=self._glue_for(ns_rrset),
+            )
+
+        return self._lookup_at(qname, qtype, synthesize_as=None) or \
+            self._wildcard_lookup(qname, qtype) or \
+            self._negative(qname)
+
+    def _lookup_at(self, owner: DnsName, qtype: RRType,
+                   synthesize_as: Optional[DnsName]) -> Optional[LookupResult]:
+        """Positive lookup at ``owner``; records are re-owned to
+        ``synthesize_as`` for wildcard synthesis."""
+        cname = self._rrsets.get((owner, RRType.CNAME))
+        if cname and qtype not in (RRType.CNAME, RRType.ANY):
+            return LookupResult(LookupKind.CNAME, rrset=_reown(cname, synthesize_as))
+        if qtype == RRType.ANY:
+            records = [
+                record
+                for (rname, _), rrset in self._rrsets.items()
+                if rname == owner
+                for record in rrset
+            ]
+            if records:
+                rrset = RRSet(synthesize_as or owner, records[0].rtype)
+                rrset.records = [
+                    _reown_record(record, synthesize_as) for record in records
+                ]
+                return LookupResult(LookupKind.ANSWER, rrset=rrset)
+            return None
+        rrset = self._rrsets.get((owner, qtype))
+        if rrset:
+            return LookupResult(LookupKind.ANSWER, rrset=_reown(rrset, synthesize_as))
+        if self.name_exists(owner):
+            return LookupResult(LookupKind.NODATA, soa=self.soa)
+        return None
+
+    def _wildcard_lookup(self, qname: DnsName, qtype: RRType) -> Optional[LookupResult]:
+        if qname == self.origin:
+            return None
+        # Search for a wildcard at each ancestor within the zone.
+        current = qname.parent
+        while current.is_subdomain_of(self.origin):
+            wildcard = current.prepend(WILDCARD_LABEL)
+            if any(rname == wildcard for (rname, _) in self._rrsets):
+                result = self._lookup_at(wildcard, qtype, synthesize_as=qname)
+                if result and result.kind in (LookupKind.ANSWER, LookupKind.CNAME):
+                    return result
+                return LookupResult(LookupKind.NODATA, soa=self.soa)
+            if self.name_exists(current):
+                # A closer existing name blocks wildcards above it.
+                return None
+            if current == self.origin:
+                break
+            current = current.parent
+        return None
+
+    def _negative(self, qname: DnsName) -> LookupResult:
+        if self.name_exists(qname):
+            return LookupResult(LookupKind.NODATA, soa=self.soa)
+        return LookupResult(LookupKind.NXDOMAIN, soa=self.soa)
+
+
+def _reown(rrset: RRSet, new_owner: Optional[DnsName]) -> RRSet:
+    if new_owner is None:
+        return rrset
+    clone = RRSet(new_owner, rrset.rtype, rrset.rclass)
+    clone.records = [_reown_record(record, new_owner) for record in rrset.records]
+    return clone
+
+
+def _reown_record(record: ResourceRecord, new_owner: Optional[DnsName]) -> ResourceRecord:
+    if new_owner is None or record.name == new_owner:
+        return record
+    return ResourceRecord(new_owner, record.rtype, record.ttl, record.rdata, record.rclass)
+
+
+# --------------------------------------------------------------------------
+# zone-file text parsing
+# --------------------------------------------------------------------------
+
+_DEFAULT_TTL = 300
+
+
+def _parse_rdata(rtype: RRType, tokens: list[str], origin: DnsName) -> object:
+    def absolute(token: str) -> DnsName:
+        if token.endswith("."):
+            return make_name(token)
+        return make_name(token).concatenate(origin)
+
+    if rtype == RRType.A:
+        return ARdata(tokens[0])
+    if rtype == RRType.AAAA:
+        return AaaaRdata(tokens[0])
+    if rtype == RRType.NS:
+        return NsRdata(absolute(tokens[0]))
+    if rtype == RRType.CNAME:
+        return CnameRdata(absolute(tokens[0]))
+    if rtype == RRType.PTR:
+        return PtrRdata(absolute(tokens[0]))
+    if rtype == RRType.MX:
+        return MxRdata(int(tokens[0]), absolute(tokens[1]))
+    if rtype in (RRType.TXT, RRType.SPF):
+        return TxtRdata(tuple(token.strip('"') for token in tokens))
+    if rtype == RRType.SOA:
+        return SoaRdata(
+            absolute(tokens[0]), absolute(tokens[1]),
+            *(int(token) for token in tokens[2:7]),
+        )
+    if rtype == RRType.SRV:
+        return SrvRdata(int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                        absolute(tokens[3]))
+    return OpaqueRdata(" ".join(tokens))
+
+
+def parse_zone_text(text: str, origin: DnsName | str | None = None) -> Zone:
+    """Parse a zone fragment in the paper's notation.
+
+    Supports ``$ORIGIN``/``$TTL`` directives, comments (``;``), relative and
+    absolute owner names, optional TTL field and the ``IN`` class token.
+    """
+    import textwrap
+
+    current_origin = make_name(origin) if isinstance(origin, str) else origin
+    default_ttl = _DEFAULT_TTL
+    pending: list[ResourceRecord] = []
+    last_owner: Optional[DnsName] = None
+    text = textwrap.dedent(text.strip("\n"))
+
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        tokens = line.split()
+        if tokens[0] == "$ORIGIN":
+            current_origin = make_name(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            default_ttl = int(tokens[1])
+            continue
+        if current_origin is None:
+            raise ZoneParseError("no $ORIGIN and no explicit origin given")
+
+        if raw_line[0] in " \t":
+            owner = last_owner
+            if owner is None:
+                raise ZoneParseError(f"continuation line with no previous owner: {line!r}")
+        else:
+            owner_token = tokens.pop(0)
+            if owner_token == "@":
+                owner = current_origin
+            elif owner_token.endswith("."):
+                owner = make_name(owner_token)
+            else:
+                owner = make_name(owner_token).concatenate(current_origin)
+            last_owner = owner
+
+        ttl = default_ttl
+        if tokens and tokens[0].isdigit():
+            ttl = int(tokens.pop(0))
+        if tokens and tokens[0].upper() in ("IN", "CH"):
+            tokens.pop(0)
+        if tokens and tokens[0].isdigit():  # TTL may follow the class too
+            ttl = int(tokens.pop(0))
+        if not tokens:
+            raise ZoneParseError(f"missing type in line {line!r}")
+        try:
+            rtype = RRType.from_text(tokens.pop(0))
+        except ValueError as exc:
+            raise ZoneParseError(str(exc)) from None
+        if not tokens:
+            raise ZoneParseError(f"missing rdata in line {line!r}")
+        rdata = _parse_rdata(rtype, tokens, current_origin)
+        pending.append(ResourceRecord(owner, rtype, ttl, rdata))  # type: ignore[arg-type]
+
+    if current_origin is None:
+        raise ZoneParseError("empty zone text")
+    zone = Zone(current_origin)
+    zone.add_records(pending)
+    return zone
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Render a zone back to presentation format (stable order)."""
+    lines = [f"$ORIGIN {zone.origin}."]
+    for rrset in sorted(zone.rrsets(), key=lambda rs: (rs.name, int(rs.rtype))):
+        lines.extend(record.to_text() for record in rrset)
+    return "\n".join(lines)
+
+
+def rrsets_of(records: Iterable[ResourceRecord]) -> list[RRSet]:
+    """Re-export of :func:`repro.dns.record.group_rrsets` for convenience."""
+    return group_rrsets(records)

@@ -1,0 +1,25 @@
+"""Network simulator substrate: virtual time, addresses, latency/loss, routing."""
+
+from .address import AddressAllocator, AddressPool, Prefix, int_to_ip, ip_to_int
+from .clock import SimClock
+from .latency import (
+    CompositeLatency,
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    lan_path,
+    wan_path,
+)
+from .loss import PAPER_LOSS_RATES, BernoulliLoss, BurstLoss, LossModel, NoLoss, country_loss
+from .network import Endpoint, LinkProfile, Network, NetworkStats, Transaction
+from .rng import RngFactory, make_rng
+
+__all__ = [
+    "AddressAllocator", "AddressPool", "BernoulliLoss", "BurstLoss",
+    "CompositeLatency", "ConstantLatency", "Endpoint", "LatencyModel",
+    "LinkProfile", "LogNormalLatency", "LossModel", "Network", "NetworkStats",
+    "NoLoss", "PAPER_LOSS_RATES", "Prefix", "RngFactory", "SimClock",
+    "Transaction", "UniformLatency", "country_loss", "int_to_ip", "ip_to_int",
+    "lan_path", "make_rng", "wan_path",
+]

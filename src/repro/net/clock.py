@@ -1,0 +1,38 @@
+"""Virtual time.
+
+Every component that needs "now" takes a :class:`SimClock`.  Time is a
+float number of seconds starting at zero; it only moves when something
+advances it (the network does so as messages traverse links).  Nothing in
+the library reads the wall clock, which keeps every experiment
+deterministic and instant.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ValueError(f"cannot rewind clock from {self._now} to {timestamp}")
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,77 @@
+"""Link latency models.
+
+The indirect-egress technique (paper §IV-B3) is a timing side channel, so the
+simulator needs latencies with realistic spread: a response served from a
+cache crosses only the client↔platform link, while a cache miss adds the
+platform↔nameserver round trips.  Models return one-way delays in seconds;
+the network applies one draw per direction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    def sample(self, rng: random.Random) -> float:
+        """One-way delay in seconds."""
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    delay: float = 0.010
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    low: float = 0.005
+    high: float = 0.020
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("need 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency:
+    """Heavy-ish tailed latency, the shape seen on real WAN paths.
+
+    ``median`` is the median one-way delay; ``sigma`` the log-space standard
+    deviation (0.3–0.6 is typical of Internet paths).
+    """
+
+    median: float = 0.015
+    sigma: float = 0.35
+
+    def sample(self, rng: random.Random) -> float:
+        return self.median * math.exp(rng.gauss(0.0, self.sigma))
+
+
+@dataclass(frozen=True)
+class CompositeLatency:
+    """Base propagation delay plus jitter from an inner model."""
+
+    base: float
+    jitter: LatencyModel
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base + self.jitter.sample(rng)
+
+
+def wan_path(median: float = 0.020, sigma: float = 0.30) -> LatencyModel:
+    """A typical client↔platform or platform↔nameserver WAN path."""
+    return LogNormalLatency(median=median, sigma=sigma)
+
+
+def lan_path(delay: float = 0.0005) -> LatencyModel:
+    """Intra-platform hop (load balancer to cache)."""
+    return ConstantLatency(delay)

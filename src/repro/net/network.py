@@ -1,0 +1,251 @@
+"""The message-routing network.
+
+:class:`Network` connects endpoints (probers, resolution platforms,
+authoritative nameservers, SMTP servers...) by IP address and routes DNS
+messages between them synchronously, while:
+
+* advancing the shared :class:`~repro.net.clock.SimClock` by sampled link
+  latencies, so response times measured by callers are meaningful (the
+  timing side channel of paper §IV-B3 depends on this);
+* dropping messages according to per-endpoint loss models, with the caller
+  waiting out its retransmission timeout (carpet bombing, paper §V);
+* keeping global counters used by the benches.
+
+The model is intentionally synchronous: a handler may itself issue nested
+:meth:`Network.query` calls (a resolution platform querying an authoritative
+server), and all time spent upstream is reflected in the caller's measured
+round-trip time — exactly the property the paper's latency classifier
+exploits.
+
+Loss semantics matter for fidelity: a lost *request* means the responder
+never saw it, but a lost *response* means the responder did all its work
+(including populating caches) and only the answer vanished.  Both cases are
+modelled distinctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from ..dns.errors import NetworkUnreachable, QueryTimeout
+from ..dns.message import DnsMessage
+from .clock import SimClock
+from .latency import LatencyModel, wan_path
+from .loss import LossModel, NoLoss
+from .rng import RngFactory
+
+
+class Endpoint(Protocol):
+    """Anything addressable on the network."""
+
+    def handle_message(self, message: DnsMessage, src_ip: str,
+                       network: "Network") -> Optional[DnsMessage]:
+        """Process a message, optionally returning a response.
+
+        Returning ``None`` models a silent drop (e.g. a firewalled host).
+        """
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """The path characteristics between an endpoint and 'the Internet'."""
+
+    latency: LatencyModel
+    loss: LossModel
+
+    @classmethod
+    def default(cls) -> "LinkProfile":
+        return cls(latency=wan_path(), loss=NoLoss())
+
+
+@dataclass
+class NetworkStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    requests_lost: int = 0
+    responses_lost: int = 0
+    timeouts: int = 0
+    retransmissions: int = 0
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.requests_lost = 0
+        self.responses_lost = 0
+        self.timeouts = 0
+        self.retransmissions = 0
+
+
+@dataclass
+class Transaction:
+    """Outcome of one (possibly retransmitted) query exchange."""
+
+    response: DnsMessage
+    rtt: float
+    attempts: int
+    src_ip: str
+    dst_ip: str
+
+
+@dataclass
+class _Registration:
+    endpoint: Endpoint
+    profile: LinkProfile
+
+
+class Network:
+    """Registry and router for simulated endpoints."""
+
+    #: Default retransmission timeout, matching common stub defaults.
+    DEFAULT_TIMEOUT = 2.0
+    DEFAULT_RETRIES = 2  # total attempts = retries + 1
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 rng_factory: Optional[RngFactory] = None,
+                 wire_fidelity: bool = False):
+        self.clock = clock or SimClock()
+        self.rng_factory = rng_factory or RngFactory(0)
+        self._rng = self.rng_factory.stream("network")
+        self._endpoints: dict[str, _Registration] = {}
+        self.stats = NetworkStats()
+        #: When True, every routed message is encoded to RFC 1035 wire
+        #: format and decoded back before delivery — endpoints only ever see
+        #: what genuinely survives the wire.  Costs CPU; great for testing.
+        self.wire_fidelity = wire_fidelity
+
+    def _through_wire(self, message: DnsMessage) -> DnsMessage:
+        if not self.wire_fidelity:
+            return message
+        from ..dns.wire import decode_message, encode_message
+
+        decoded = decode_message(encode_message(message))
+        # Transport is connection metadata, not message content.
+        decoded.via_tcp = message.via_tcp
+        return decoded
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, ip: str, endpoint: Endpoint,
+                 profile: Optional[LinkProfile] = None) -> None:
+        self._endpoints[ip] = _Registration(endpoint, profile or LinkProfile.default())
+
+    def register_many(self, ips: list[str], endpoint: Endpoint,
+                      profile: Optional[LinkProfile] = None) -> None:
+        for ip in ips:
+            self.register(ip, endpoint, profile)
+
+    def unregister(self, ip: str) -> None:
+        self._endpoints.pop(ip, None)
+
+    def endpoint_at(self, ip: str) -> Optional[Endpoint]:
+        registration = self._endpoints.get(ip)
+        return registration.endpoint if registration else None
+
+    def is_registered(self, ip: str) -> bool:
+        return ip in self._endpoints
+
+    def profile_of(self, ip: str) -> Optional[LinkProfile]:
+        registration = self._endpoints.get(ip)
+        return registration.profile if registration else None
+
+    # -- traversal helpers ---------------------------------------------------
+
+    def _traverse(self, src_profile: Optional[LinkProfile],
+                  dst_profile: LinkProfile) -> tuple[bool, float]:
+        """One message traversal: (lost?, latency)."""
+        latency = dst_profile.latency.sample(self._rng)
+        lost = dst_profile.loss.is_lost(self._rng)
+        if src_profile is not None:
+            latency += src_profile.latency.sample(self._rng)
+            lost = lost or src_profile.loss.is_lost(self._rng)
+        return lost, latency
+
+    # -- the transaction primitive ---------------------------------------------
+
+    def query(self, src_ip: str, dst_ip: str, message: DnsMessage,
+              timeout: float = DEFAULT_TIMEOUT,
+              retries: int = DEFAULT_RETRIES) -> Transaction:
+        """Send ``message`` from ``src_ip`` to ``dst_ip`` and await a reply.
+
+        Retransmits up to ``retries`` times after waiting ``timeout`` virtual
+        seconds per lost exchange.  Raises :class:`QueryTimeout` when every
+        attempt fails and :class:`NetworkUnreachable` when ``dst_ip`` is not
+        registered.
+        """
+        registration = self._endpoints.get(dst_ip)
+        if registration is None:
+            raise NetworkUnreachable(f"no endpoint at {dst_ip}")
+        src_profile = self.profile_of(src_ip)
+
+        start = self.clock.now
+        if message.via_tcp:
+            # TCP costs one extra round trip (SYN/SYN-ACK) before the query.
+            lost, handshake_out = self._traverse(src_profile,
+                                                 registration.profile)
+            lost2, handshake_back = self._traverse(src_profile,
+                                                   registration.profile)
+            self.clock.advance(handshake_out + handshake_back)
+            if lost or lost2:
+                # A failed handshake surfaces as a (retried) connect delay.
+                self.clock.advance(timeout / 2)
+        attempts = 0
+        while attempts <= retries:
+            attempts += 1
+            if attempts > 1:
+                self.stats.retransmissions += 1
+            sent_at = self.clock.now
+            self.stats.messages_sent += 1
+
+            lost, request_latency = self._traverse(src_profile, registration.profile)
+            if lost:
+                self.stats.requests_lost += 1
+                self.clock.advance_to(sent_at + timeout)
+                continue
+            self.clock.advance(request_latency)
+
+            response = registration.endpoint.handle_message(
+                self._through_wire(message), src_ip, self)
+            if response is None:
+                # Silent drop by the endpoint itself.
+                self.clock.advance_to(max(self.clock.now, sent_at + timeout))
+                continue
+
+            lost, response_latency = self._traverse(src_profile, registration.profile)
+            if lost:
+                self.stats.responses_lost += 1
+                self.clock.advance_to(max(self.clock.now, sent_at + timeout))
+                continue
+            self.clock.advance(response_latency)
+            self.stats.messages_delivered += 1
+            return Transaction(
+                response=self._through_wire(response),
+                rtt=self.clock.now - start,
+                attempts=attempts,
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+            )
+
+        self.stats.timeouts += 1
+        raise QueryTimeout(
+            f"query from {src_ip} to {dst_ip} lost after {attempts} attempts"
+        )
+
+    def send_oneway(self, src_ip: str, dst_ip: str, message: DnsMessage) -> bool:
+        """Fire-and-forget delivery (no response expected).
+
+        Returns whether the message arrived.
+        """
+        registration = self._endpoints.get(dst_ip)
+        if registration is None:
+            raise NetworkUnreachable(f"no endpoint at {dst_ip}")
+        src_profile = self.profile_of(src_ip)
+        self.stats.messages_sent += 1
+        lost, latency = self._traverse(src_profile, registration.profile)
+        if lost:
+            self.stats.requests_lost += 1
+            return False
+        self.clock.advance(latency)
+        registration.endpoint.handle_message(message, src_ip, self)
+        self.stats.messages_delivered += 1
+        return True

@@ -1,0 +1,8 @@
+"""Authoritative-server substrate: zone serving and query logging."""
+
+from .authoritative import AuthoritativeServer
+from .hierarchy import DELEGATION_TTL, RootHierarchy
+from .querylog import LogEntry, QueryLog
+
+__all__ = ["AuthoritativeServer", "DELEGATION_TTL", "LogEntry", "QueryLog",
+           "RootHierarchy"]

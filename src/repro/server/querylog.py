@@ -1,0 +1,133 @@
+"""Nameserver query logs.
+
+The entire measurement methodology of the paper consumes exactly one data
+source: the queries arriving at the CDE-controlled nameservers.  "Our study
+proceeds by observing and counting the number of queries arriving at our
+nameservers" (§IV-A).  :class:`QueryLog` records each arrival and offers the
+counting/grouping primitives the enumeration and mapping techniques need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..dns.name import DnsName
+from ..dns.rrtype import RRType
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    timestamp: float
+    src_ip: str
+    qname: DnsName
+    qtype: RRType
+    msg_id: int = 0
+
+
+class QueryLog:
+    """Append-only log with counting helpers."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._marks: dict[str, int] = {}
+
+    def record(self, entry: LogEntry) -> None:
+        self._entries.append(entry)
+
+    # -- marks: named positions for incremental reads -----------------------
+
+    def mark(self, label: str) -> None:
+        """Remember the current end of the log under ``label``."""
+        self._marks[label] = len(self._entries)
+
+    def since_mark(self, label: str) -> list[LogEntry]:
+        return self._entries[self._marks.get(label, 0):]
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries(self, qname: Optional[DnsName] = None,
+                qtype: Optional[RRType] = None,
+                src_ip: Optional[str] = None,
+                since: Optional[float] = None,
+                predicate: Optional[Callable[[LogEntry], bool]] = None
+                ) -> list[LogEntry]:
+        """Filtered view of the log; all filters are conjunctive."""
+        result = []
+        for entry in self._entries:
+            if qname is not None and entry.qname != qname:
+                continue
+            if qtype is not None and entry.qtype != qtype:
+                continue
+            if src_ip is not None and entry.src_ip != src_ip:
+                continue
+            if since is not None and entry.timestamp < since:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            result.append(entry)
+        return result
+
+    def count(self, qname: Optional[DnsName] = None,
+              qtype: Optional[RRType] = None,
+              since: Optional[float] = None) -> int:
+        return len(self.entries(qname=qname, qtype=qtype, since=since))
+
+    def count_transactions(self, qname: Optional[DnsName] = None,
+                           qtype: Optional[RRType] = None,
+                           since: Optional[float] = None) -> int:
+        """Entries deduplicated by (source, message id, question).
+
+        A resolver that loses our response retransmits the *same* DNS
+        message, so raw arrival counts inflate under packet loss; distinct
+        transactions are the quantity the enumeration techniques need.
+        """
+        seen = {
+            (entry.src_ip, entry.msg_id, entry.qname, entry.qtype)
+            for entry in self.entries(qname=qname, qtype=qtype, since=since)
+        }
+        return len(seen)
+
+    def count_under(self, suffix: DnsName, since: Optional[float] = None,
+                    dedupe: bool = True) -> int:
+        """Queries whose qname falls at or under ``suffix``.
+
+        Deduplicates retransmissions (same source, message id and question)
+        by default — see :meth:`count_transactions`.
+        """
+        matching = self.entries(
+            since=since,
+            predicate=lambda entry: entry.qname.is_subdomain_of(suffix),
+        )
+        if not dedupe:
+            return len(matching)
+        return len({(entry.src_ip, entry.msg_id, entry.qname, entry.qtype)
+                    for entry in matching})
+
+    def sources(self, qname: Optional[DnsName] = None,
+                suffix: Optional[DnsName] = None,
+                since: Optional[float] = None) -> set[str]:
+        """Distinct source IPs seen — the paper's egress-IP census input."""
+        predicate = None
+        if suffix is not None:
+            predicate = lambda entry: entry.qname.is_subdomain_of(suffix)  # noqa: E731
+        return {
+            entry.src_ip
+            for entry in self.entries(qname=qname, since=since, predicate=predicate)
+        }
+
+    def qtype_histogram(self, since: Optional[float] = None) -> dict[RRType, int]:
+        histogram: dict[RRType, int] = {}
+        for entry in self.entries(since=since):
+            histogram[entry.qtype] = histogram.get(entry.qtype, 0) + 1
+        return histogram
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._marks.clear()

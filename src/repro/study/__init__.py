@@ -1,0 +1,107 @@
+"""Internet-study harness: populations, the simulated Internet, figures."""
+
+from .accuracy import (
+    AccuracyReport,
+    AccuracyStats,
+    accuracy_report,
+    selector_class_of,
+)
+from .collection import (
+    AdCollectionResult,
+    ScanResult,
+    SmtpCollectionResult,
+    TABLE1_PAPER_ROWS,
+    classify_mechanism,
+    run_ad_collection,
+    run_smtp_collection,
+    scan_for_open_resolvers,
+)
+from .export import (
+    edns_survey_to_dict,
+    measurement_to_dict,
+    measurements_to_dict,
+    monitor_to_dict,
+    report_to_dict,
+    table1_to_dict,
+    to_json,
+)
+from .figures import (
+    FigureData,
+    measurements_csv,
+    regenerate_all,
+    table1_csv,
+)
+from .internet import (
+    HostedPlatform,
+    SimulatedInternet,
+    SinkEndpoint,
+    WorldConfig,
+    build_world,
+)
+from .measurement import (
+    MeasurementBudget,
+    PlatformMeasurement,
+    measure_direct,
+    measure_population,
+    measure_via_browser,
+    measure_via_smtp,
+)
+from .operators import (
+    AD_NETWORK_OPERATORS,
+    EMAIL_SERVER_OPERATORS,
+    OPEN_RESOLVER_OPERATORS,
+    OPERATOR_TABLES,
+    country_of_operator,
+    draw_operator,
+    top_n_table,
+)
+from .population import (
+    POPULATIONS,
+    SELECTOR_MIX,
+    PlatformSpec,
+    PopulationGenerator,
+    draw_selector_name,
+    generate_population,
+)
+from .report import (
+    format_bubbles,
+    format_cdf_series,
+    format_fractions,
+    format_ratio_breakdown,
+    format_table,
+)
+from .trends import EvolutionModel, TrendRound, TrendStudy
+from .stats import (
+    RatioBreakdown,
+    bubble_counts,
+    cdf_at,
+    cdf_points,
+    fraction_above,
+    fraction_at_most,
+    median,
+    ratio_breakdown,
+    snap_to_bin,
+)
+
+__all__ = [
+    "AD_NETWORK_OPERATORS", "AccuracyReport", "AccuracyStats",
+    "AdCollectionResult", "EMAIL_SERVER_OPERATORS",
+    "accuracy_report", "selector_class_of",
+    "HostedPlatform", "MeasurementBudget", "OPEN_RESOLVER_OPERATORS",
+    "OPERATOR_TABLES", "POPULATIONS", "PlatformMeasurement", "PlatformSpec",
+    "PopulationGenerator", "RatioBreakdown", "SELECTOR_MIX", "ScanResult",
+    "SimulatedInternet", "SinkEndpoint", "SmtpCollectionResult",
+    "TABLE1_PAPER_ROWS", "WorldConfig", "build_world", "bubble_counts",
+    "cdf_at", "cdf_points", "classify_mechanism", "country_of_operator",
+    "draw_operator", "draw_selector_name", "format_bubbles",
+    "format_cdf_series", "format_fractions", "format_ratio_breakdown",
+    "format_table", "fraction_above", "fraction_at_most",
+    "FigureData", "edns_survey_to_dict", "generate_population",
+    "measure_direct", "measurements_csv", "regenerate_all", "table1_csv",
+    "measure_population", "measure_via_browser", "measure_via_smtp",
+    "measurement_to_dict", "measurements_to_dict", "median",
+    "monitor_to_dict", "ratio_breakdown", "report_to_dict",
+    "run_ad_collection", "run_smtp_collection", "scan_for_open_resolvers",
+    "snap_to_bin", "table1_to_dict", "to_json", "top_n_table",
+    "EvolutionModel", "TrendRound", "TrendStudy",
+]

@@ -1,0 +1,113 @@
+"""Measurement-accuracy analytics.
+
+The paper validates its techniques qualitatively ("the number of queries ω
+arriving at our nameserver is the number of caches"); with simulated ground
+truth we can quantify accuracy per technique and per selector class:
+exact-hit rate, mean absolute error, signed bias and the breakdown of the
+misses.  The validation bench asserts these stay within bounds — the
+regression alarm for anything that degrades the measurement pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .measurement import PlatformMeasurement
+
+
+@dataclass
+class AccuracyStats:
+    """Accuracy of one measured quantity over a set of platforms."""
+
+    count: int = 0
+    exact: int = 0
+    absolute_error_sum: float = 0.0
+    signed_error_sum: float = 0.0
+    undercounts: int = 0
+    overcounts: int = 0
+
+    def add(self, measured: int, truth: int) -> None:
+        self.count += 1
+        error = measured - truth
+        if error == 0:
+            self.exact += 1
+        elif error < 0:
+            self.undercounts += 1
+        else:
+            self.overcounts += 1
+        self.absolute_error_sum += abs(error)
+        self.signed_error_sum += error
+
+    @property
+    def exact_rate(self) -> float:
+        return self.exact / self.count if self.count else 0.0
+
+    @property
+    def mean_absolute_error(self) -> float:
+        return self.absolute_error_sum / self.count if self.count else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Positive = systematic overcounting."""
+        return self.signed_error_sum / self.count if self.count else 0.0
+
+
+@dataclass
+class AccuracyReport:
+    cache_overall: AccuracyStats = field(default_factory=AccuracyStats)
+    cache_by_selector_class: dict[str, AccuracyStats] = field(
+        default_factory=dict)
+    cache_by_technique: dict[str, AccuracyStats] = field(default_factory=dict)
+    egress_overall: AccuracyStats = field(default_factory=AccuracyStats)
+
+    def rows(self) -> list[tuple[str, int, str, str, str]]:
+        """Render-ready (group, n, exact%, MAE, bias) rows."""
+        out = [("caches / all", self.cache_overall.count,
+                f"{self.cache_overall.exact_rate:.0%}",
+                f"{self.cache_overall.mean_absolute_error:.2f}",
+                f"{self.cache_overall.bias:+.2f}")]
+        for label, stats in sorted(self.cache_by_selector_class.items()):
+            out.append((f"caches / {label}", stats.count,
+                        f"{stats.exact_rate:.0%}",
+                        f"{stats.mean_absolute_error:.2f}",
+                        f"{stats.bias:+.2f}"))
+        for label, stats in sorted(self.cache_by_technique.items()):
+            out.append((f"caches / via {label}", stats.count,
+                        f"{stats.exact_rate:.0%}",
+                        f"{stats.mean_absolute_error:.2f}",
+                        f"{stats.bias:+.2f}"))
+        out.append(("egress / all", self.egress_overall.count,
+                    f"{self.egress_overall.exact_rate:.0%}",
+                    f"{self.egress_overall.mean_absolute_error:.2f}",
+                    f"{self.egress_overall.bias:+.2f}"))
+        return out
+
+
+def selector_class_of(selector_name: str) -> str:
+    """Group generator selector names into the paper's taxonomy."""
+    if selector_name in ("uniform-random", "sticky-random"):
+        return "unpredictable"
+    if selector_name in ("round-robin", "least-loaded"):
+        return "traffic-dependent"
+    return "keyed"
+
+
+def accuracy_report(measurements: Iterable[PlatformMeasurement],
+                    predicate: Optional[
+                        Callable[[PlatformMeasurement], bool]] = None
+                    ) -> AccuracyReport:
+    """Aggregate accuracy over measurement rows."""
+    report = AccuracyReport()
+    for row in measurements:
+        if predicate is not None and not predicate(row):
+            continue
+        report.cache_overall.add(row.measured_caches, row.true_caches)
+        klass = selector_class_of(row.spec.selector_name)
+        report.cache_by_selector_class.setdefault(
+            klass, AccuracyStats()).add(row.measured_caches, row.true_caches)
+        report.cache_by_technique.setdefault(
+            row.technique, AccuracyStats()).add(row.measured_caches,
+                                                row.true_caches)
+        report.egress_overall.add(row.measured_egress, row.true_egress)
+    return report

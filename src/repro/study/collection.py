@@ -1,0 +1,243 @@
+"""Data-collection workflows (paper §III, Table I, Figure 2 inputs).
+
+Three collectors mirror the paper's three acquisition channels:
+
+* :func:`scan_for_open_resolvers` — the Alexa-style scan: candidate
+  networks are probed with a query for a record in our domain; the ones
+  that answer are the open-resolver dataset (§III-A: "we select the first
+  1K domains that provide open DNS resolution services").
+* :func:`run_smtp_collection` — the email channel: one message to a
+  non-existent mailbox per enterprise, then the CDE nameserver log is
+  classified per-domain into the mechanism mix of **Table I**.
+* :func:`run_ad_collection` — the ad-network channel: impressions served
+  to ISP-hosted browsers with the paper's ~1:50 completion rate; completed
+  clients are the usable probers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..client.smtp import DKIM_SELECTOR
+from ..client.webpage import AdCampaign
+from ..core.prober import BrowserProber
+from ..dns.errors import QueryTimeout
+from ..dns.name import DnsName
+from ..dns.rrtype import RCode, RRType
+from .internet import HostedPlatform, SimulatedInternet
+from .population import PlatformSpec
+
+
+# ---------------------------------------------------------------------------
+# open-resolver scan (§III-A)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScanResult:
+    candidates: int
+    open_platforms: list[HostedPlatform]
+    refused: int
+    unreachable: int
+    flagged: int = 0   # dropped by the integrity (hygiene) checks
+
+    @property
+    def open_count(self) -> int:
+        return len(self.open_platforms)
+
+
+def scan_for_open_resolvers(world: SimulatedInternet,
+                            specs: list[PlatformSpec],
+                            closed_fraction: float = 0.45,
+                            limit: Optional[int] = None,
+                            integrity_check: bool = False) -> ScanResult:
+    """Build candidate networks and keep those that resolve openly.
+
+    ``closed_fraction`` of the candidates are configured to serve only
+    their own clients (the Alexa scan's non-open majority); the scan keeps
+    the first ``limit`` platforms that answer a query for a record in our
+    domain, exactly like the paper's two-step selection.
+
+    ``integrity_check=True`` additionally runs the
+    :mod:`repro.core.integrity` hygiene checks and drops flagged resolvers
+    — the paper's "excludes malicious networks" step (§III-A).
+    """
+    rng = world.rng_factory.stream("open-scan")
+    open_platforms: list[HostedPlatform] = []
+    refused = 0
+    unreachable = 0
+    flagged = 0
+    for spec in specs:
+        hosted = world.add_platform_from_spec(spec)
+        if rng.random() < closed_fraction:
+            hosted.platform.config.open_to = "172.16.0.0/12"
+        probe_name = world.cde.unique_name("scan")
+        try:
+            transaction = world.prober.query(
+                hosted.platform.ingress_ips[0], probe_name)
+        except QueryTimeout:
+            unreachable += 1
+            continue
+        if transaction.response.rcode == RCode.NOERROR and \
+                transaction.response.answers:
+            if integrity_check:
+                from ..core.integrity import check_resolver_integrity
+
+                report = check_resolver_integrity(
+                    world.cde, world.prober,
+                    hosted.platform.ingress_ips[0])
+                if not report.clean:
+                    flagged += 1
+                    continue
+            open_platforms.append(hosted)
+            if limit is not None and len(open_platforms) >= limit:
+                break
+        else:
+            refused += 1
+    return ScanResult(
+        candidates=len(specs),
+        open_platforms=open_platforms,
+        refused=refused,
+        unreachable=unreachable,
+        flagged=flagged,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SMTP collection → Table I (§III-B)
+# ---------------------------------------------------------------------------
+
+#: Table I rows, in the paper's order, with the paper's reported fractions.
+TABLE1_PAPER_ROWS: list[tuple[str, float]] = [
+    ("Modern SPF queries (TXT qtype)", 0.696),
+    ("Obsolete SPF [RFC7208] (SPF qtype)", 0.142),
+    ("ADSP (w/DKIM)", 0.02),
+    ("DKIM", 0.003),
+    ("DMARC", 0.353),
+    ("MX/A queries for sending email server", 0.304),
+]
+
+
+@dataclass
+class SmtpCollectionResult:
+    domains_probed: int
+    mechanism_fractions: dict[str, float]
+    per_domain_mechanisms: dict[str, set[str]] = field(default_factory=dict)
+
+    def table1_rows(self) -> list[tuple[str, float]]:
+        """Rows in the paper's Table I order."""
+        key_map = {
+            "Modern SPF queries (TXT qtype)": "spf_txt",
+            "Obsolete SPF [RFC7208] (SPF qtype)": "spf_legacy",
+            "ADSP (w/DKIM)": "adsp",
+            "DKIM": "dkim",
+            "DMARC": "dmarc",
+            "MX/A queries for sending email server": "bounce_mx",
+        }
+        return [(label, self.mechanism_fractions.get(key, 0.0))
+                for label, key in key_map.items()]
+
+
+def classify_mechanism(sender: DnsName, qname: DnsName,
+                       qtype: RRType) -> Optional[str]:
+    """Which Table I mechanism a logged query represents."""
+    if qname == sender:
+        if qtype == RRType.TXT:
+            return "spf_txt"
+        if qtype == RRType.SPF:
+            return "spf_legacy"
+        if qtype == RRType.MX:
+            return "bounce_mx"
+        if qtype == RRType.A:
+            return "bounce_mx"
+    if qname == sender.prepend("_dmarc") and qtype == RRType.TXT:
+        return "dmarc"
+    if qname == sender.prepend("_adsp", "_domainkey") and qtype == RRType.TXT:
+        return "adsp"
+    if qname == sender.prepend(DKIM_SELECTOR, "_domainkey") and \
+            qtype == RRType.TXT:
+        return "dkim"
+    return None
+
+
+def run_smtp_collection(world: SimulatedInternet,
+                        specs: list[PlatformSpec]) -> SmtpCollectionResult:
+    """One probe email per enterprise; classify what reaches our nameserver."""
+    mechanisms_per_domain: dict[str, set[str]] = {}
+    for spec in specs:
+        hosted = world.add_platform_from_spec(spec)
+        domain = f"enterprise-{spec.index}.example"
+        server = world.make_smtp_server(domain, hosted)
+        sender = world.cde.unique_name("mail")
+        since = world.clock.now
+        server.receive_message(
+            mail_from=f"prober@{sender}",
+            rcpt_to=f"no-such-mailbox@{domain}",
+        )
+        seen: set[str] = set()
+        for entry in world.cde.server.query_log.entries(since=since):
+            mechanism = classify_mechanism(sender, entry.qname, entry.qtype)
+            if mechanism is not None:
+                seen.add(mechanism)
+        mechanisms_per_domain[domain] = seen
+
+    total = len(mechanisms_per_domain) or 1
+    fractions = {
+        mechanism: sum(1 for seen in mechanisms_per_domain.values()
+                       if mechanism in seen) / total
+        for mechanism in ("spf_txt", "spf_legacy", "adsp", "dkim", "dmarc",
+                          "bounce_mx")
+    }
+    return SmtpCollectionResult(
+        domains_probed=len(mechanisms_per_domain),
+        mechanism_fractions=fractions,
+        per_domain_mechanisms=mechanisms_per_domain,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ad-network collection (§III-C)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AdCollectionResult:
+    impressions: int
+    completed: int
+    probers: list[BrowserProber]
+    operators: list[str]          # operator per completed client (Fig. 2)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.impressions if self.impressions else 0.0
+
+
+def run_ad_collection(world: SimulatedInternet, specs: list[PlatformSpec],
+                      impressions: int,
+                      campaign: Optional[AdCampaign] = None
+                      ) -> AdCollectionResult:
+    """Serve ``impressions`` ads to browsers on the generated ISP platforms.
+
+    Each impression's client sits behind a platform drawn from ``specs``
+    (clients of big ISPs are more common, approximated uniformly here);
+    only completed executions yield probers, per the paper's 1:50 yield.
+    """
+    campaign = campaign or AdCampaign(rng=world.rng_factory.stream("campaign"))
+    rng = world.rng_factory.stream("ad-clients")
+    hosted_platforms = [world.add_platform_from_spec(spec) for spec in specs]
+    probers: list[BrowserProber] = []
+    operators: list[str] = []
+    for _ in range(impressions):
+        hosted = hosted_platforms[rng.randrange(len(hosted_platforms))]
+        browser = world.make_browser(hosted)
+        impression = campaign.serve(browser, lambda b: [])
+        if impression.completed:
+            probers.append(BrowserProber(browser))
+            operators.append(hosted.spec.operator)
+    return AdCollectionResult(
+        impressions=impressions,
+        completed=len(probers),
+        probers=probers,
+        operators=operators,
+    )

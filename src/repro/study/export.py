@@ -1,0 +1,126 @@
+"""JSON export of measurement results.
+
+The paper promises reusable tools; tools need machine-readable output.
+Every result object the toolkit produces can be rendered to plain dicts /
+JSON here — reports, population measurements, Table I collections, EDNS
+surveys and monitor histories.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.edns_survey import EdnsSurveyResult
+from ..core.monitor import PlatformMonitor
+from ..core.session import PlatformReport
+from .collection import SmtpCollectionResult
+from .measurement import PlatformMeasurement
+
+
+def report_to_dict(report: PlatformReport) -> dict[str, Any]:
+    """A :class:`PlatformReport` as a JSON-safe dict."""
+    data: dict[str, Any] = {
+        "ingress_ips_tested": report.ingress_ips_tested,
+        "cache_count": report.cache_count,
+        "carpet_k": report.carpet_k,
+        "queries_sent": report.queries_sent,
+        "notes": list(report.notes),
+    }
+    if report.loss is not None:
+        data["loss"] = {"probes": report.loss.probes,
+                        "lost": report.loss.lost,
+                        "rate": report.loss.rate}
+    if report.two_phase is not None:
+        data["two_phase"] = {
+            "seeds": report.two_phase.seeds,
+            "init_arrivals": report.two_phase.init_arrivals,
+            "validate_arrivals": report.two_phase.validate_arrivals,
+            "validated_seeds": report.two_phase.validated_seeds,
+            "estimate": report.two_phase.estimate.estimate,
+        }
+    if report.direct is not None:
+        data["direct"] = {
+            "queries_sent": report.direct.queries_sent,
+            "arrivals": report.direct.arrivals,
+            "estimate": report.direct.estimate.estimate,
+        }
+    if report.ingress_mapping is not None:
+        data["ingress_clusters"] = [
+            {"cluster_id": cluster.cluster_id,
+             "member_ips": list(cluster.member_ips)}
+            for cluster in report.ingress_mapping.clusters
+        ]
+    if report.egress is not None:
+        data["egress_ips"] = sorted(report.egress.egress_ips)
+    return data
+
+
+def measurement_to_dict(measurement: PlatformMeasurement) -> dict[str, Any]:
+    spec = measurement.spec
+    return {
+        "name": spec.name,
+        "population": spec.population,
+        "operator": spec.operator,
+        "country": spec.country,
+        "selector": spec.selector_name,
+        "n_ingress": spec.n_ingress,
+        "true_caches": spec.n_caches,
+        "true_egress": spec.n_egress,
+        "measured_caches": measurement.measured_caches,
+        "measured_egress": measurement.measured_egress,
+        "technique": measurement.technique,
+        "queries_used": measurement.queries_used,
+    }
+
+
+def measurements_to_dict(measurements: list[PlatformMeasurement]
+                         ) -> list[dict[str, Any]]:
+    return [measurement_to_dict(measurement) for measurement in measurements]
+
+
+def table1_to_dict(result: SmtpCollectionResult) -> dict[str, Any]:
+    return {
+        "domains_probed": result.domains_probed,
+        "rows": [{"query_type": label, "fraction": fraction}
+                 for label, fraction in result.table1_rows()],
+    }
+
+
+def edns_survey_to_dict(survey: EdnsSurveyResult) -> dict[str, Any]:
+    return {
+        "surveyed": survey.surveyed,
+        "supporting": survey.supporting,
+        "adoption_rate": survey.adoption_rate,
+        "size_histogram": {str(size): count
+                           for size, count in survey.size_histogram().items()},
+        "observations": [
+            {"ingress_ip": obs.ingress_ip, "reachable": obs.reachable,
+             "supports_edns": obs.supports_edns,
+             "advertised_size": obs.advertised_size}
+            for obs in survey.observations
+        ],
+    }
+
+
+def monitor_to_dict(monitor: PlatformMonitor) -> dict[str, Any]:
+    return {
+        "ingress_ip": monitor.ingress_ip,
+        "interval": monitor.interval,
+        "snapshots": [
+            {"timestamp": snap.timestamp, "cache_count": snap.cache_count,
+             "egress_ips": sorted(snap.egress_ips),
+             "queries_spent": snap.queries_spent}
+            for snap in monitor.history
+        ],
+        "events": [
+            {"timestamp": event.timestamp, "kind": event.kind.value,
+             "description": event.describe()}
+            for event in monitor.events
+        ],
+    }
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialize any of the dict shapes above to JSON text."""
+    return json.dumps(payload, indent=indent, sort_keys=True)

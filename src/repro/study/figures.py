@@ -1,0 +1,130 @@
+"""Programmatic builders for every figure/table of the paper's evaluation.
+
+Each builder runs the relevant collection + measurement pipeline and
+returns plain data (series, pairs, breakdowns) ready for rendering by
+:mod:`repro.study.report`, for CSV export, or for custom plotting.  The
+benches and the CLI both sit on top of these, so the regeneration logic
+lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .collection import SmtpCollectionResult, run_smtp_collection
+from .internet import SimulatedInternet
+from .measurement import MeasurementBudget, PlatformMeasurement, measure_population
+from .operators import OPERATOR_TABLES, draw_operator, top_n_table
+from .population import POPULATIONS, generate_population
+from .stats import RatioBreakdown, bubble_counts, ratio_breakdown
+
+DEFAULT_SIZES = {"open-resolvers": 40, "email-servers": 25, "ad-network": 25}
+DEFAULT_CAPS = {
+    "open-resolvers": dict(max_ingress=200, max_caches=16, max_egress=30),
+    "email-servers": dict(max_ingress=10, max_caches=10, max_egress=40),
+    "ad-network": dict(max_ingress=12, max_caches=8, max_egress=30),
+}
+
+
+@dataclass
+class FigureData:
+    """All regenerated evaluation artifacts from one measurement run."""
+
+    measurements: dict[str, list[PlatformMeasurement]]
+    table1: Optional[SmtpCollectionResult] = None
+    operator_tables: dict[str, list[tuple[str, float]]] = field(
+        default_factory=dict)
+
+    # -- figure series ---------------------------------------------------
+
+    def egress_series(self) -> dict[str, list[int]]:
+        """Figure 3 input: measured egress counts per population."""
+        return {population: [row.measured_egress for row in rows]
+                for population, rows in self.measurements.items()}
+
+    def cache_series(self) -> dict[str, list[int]]:
+        """Figure 4 input: measured cache counts per population."""
+        return {population: [row.measured_caches for row in rows]
+                for population, rows in self.measurements.items()}
+
+    def bubbles(self, population: str) -> dict[tuple[int, int], int]:
+        """Figures 5/7/8 input for one population."""
+        rows = self.measurements[population]
+        return bubble_counts([row.ip_cache_pair for row in rows])
+
+    def ratio_breakdowns(self) -> dict[str, RatioBreakdown]:
+        """Figure 6 input."""
+        return {population: ratio_breakdown([row.ip_cache_pair
+                                             for row in rows])
+                for population, rows in self.measurements.items()}
+
+
+def regenerate_all(world: SimulatedInternet,
+                   sizes: Optional[dict[str, int]] = None,
+                   caps: Optional[dict[str, dict]] = None,
+                   budget: Optional[MeasurementBudget] = None,
+                   table1_domains: int = 150,
+                   operator_draws: int = 1000,
+                   seed: int = 0) -> FigureData:
+    """One pass that regenerates every table and figure's data."""
+    sizes = sizes or DEFAULT_SIZES
+    caps = caps or DEFAULT_CAPS
+    budget = budget or MeasurementBudget()
+
+    measurements = {}
+    for population in POPULATIONS:
+        specs = generate_population(population, sizes[population], seed=seed,
+                                    **caps.get(population, {}))
+        measurements[population] = measure_population(world, specs, budget)
+
+    table1_specs = generate_population(
+        "email-servers", table1_domains, seed=seed + 1,
+        max_ingress=3, max_caches=3, max_egress=5)
+    table1 = run_smtp_collection(world, table1_specs)
+
+    operator_tables = {}
+    for population in OPERATOR_TABLES:
+        rng = world.rng_factory.stream(f"figures/operators/{population}")
+        labels = [draw_operator(population, rng)
+                  for _ in range(operator_draws)]
+        operator_tables[population] = top_n_table(labels, n=10)
+
+    return FigureData(measurements=measurements, table1=table1,
+                      operator_tables=operator_tables)
+
+
+# ---------------------------------------------------------------------------
+# CSV export
+# ---------------------------------------------------------------------------
+
+
+def measurements_csv(data: FigureData) -> str:
+    """All per-platform rows as CSV (one row per measured platform)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["population", "name", "operator", "country", "selector",
+                     "n_ingress", "true_caches", "measured_caches",
+                     "true_egress", "measured_egress", "technique",
+                     "queries_used"])
+    for population, rows in data.measurements.items():
+        for row in rows:
+            writer.writerow([
+                population, row.spec.name, row.spec.operator,
+                row.spec.country, row.spec.selector_name, row.spec.n_ingress,
+                row.true_caches, row.measured_caches, row.true_egress,
+                row.measured_egress, row.technique, row.queries_used,
+            ])
+    return buffer.getvalue()
+
+
+def table1_csv(data: FigureData) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["query_type", "fraction"])
+    if data.table1 is not None:
+        for label, fraction in data.table1.table1_rows():
+            writer.writerow([label, f"{fraction:.4f}"])
+    return buffer.getvalue()

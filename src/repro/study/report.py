@@ -1,0 +1,83 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The bench harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place so benches, examples and the CLI
+agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .stats import RatioBreakdown
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(width)
+                             for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf_series(series: dict[str, list[float]],
+                      xs: Sequence[float],
+                      title: str = "",
+                      x_label: str = "x") -> str:
+    """A CDF table: one row per x, one column per series (as percent)."""
+    from .stats import fraction_at_most
+
+    headers = [x_label] + [f"{label} (% <= x)" for label in series]
+    rows = []
+    for x in xs:
+        row: list[object] = [f"{x:g}"]
+        for values in series.values():
+            row.append(f"{100 * fraction_at_most(values, x):.1f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_bubbles(counts: dict[tuple[int, int], int],
+                   title: str = "",
+                   x_label: str = "ingress IPs",
+                   y_label: str = "caches") -> str:
+    """Bubble-plot cells as rows sorted by size (the figure's circles)."""
+    rows = [(x, y, count)
+            for (x, y), count in sorted(counts.items(),
+                                        key=lambda item: -item[1])]
+    return format_table([x_label, y_label, "networks"], rows, title=title)
+
+
+def format_ratio_breakdown(breakdowns: dict[str, RatioBreakdown],
+                           title: str = "") -> str:
+    """Figure 6: category percentages across populations."""
+    categories = ["1 IP / 1 cache", "1 IP / >1 cache",
+                  ">1 IP / 1 cache", ">1 IP / >1 cache"]
+    headers = ["category"] + list(breakdowns.keys())
+    rows = []
+    for category in categories:
+        row: list[object] = [category]
+        for breakdown in breakdowns.values():
+            row.append(f"{100 * breakdown.as_dict()[category]:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_fractions(fractions: dict[str, float], title: str = "",
+                     label: str = "item") -> str:
+    rows = [(name, f"{100 * value:.1f}%") for name, value in fractions.items()]
+    return format_table([label, "fraction"], rows, title=title)

@@ -1,0 +1,121 @@
+"""Statistics helpers for the study figures.
+
+Figures 3 and 4 are CDFs; Figures 5, 7 and 8 are bubble plots of (IP count,
+cache count) with bubble area = number of networks; Figure 6 is a category
+breakdown (single/single vs. the multi combinations).  These helpers turn
+per-platform measurement rows into those presentations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """(x, P[value ≤ x]) at each distinct observed value."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    total = len(ordered)
+    points: list[tuple[float, float]] = []
+    seen = 0
+    previous = None
+    for value in ordered:
+        seen += 1
+        if value != previous:
+            points.append((value, seen / total))
+            previous = value
+        else:
+            points[-1] = (value, seen / total)
+    return points
+
+
+def fraction_at_most(values: Sequence[float], limit: float) -> float:
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= limit) / len(values)
+
+
+def fraction_above(values: Sequence[float], limit: float) -> float:
+    return 1.0 - fraction_at_most(values, limit)
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def cdf_at(values: Sequence[float], xs: Iterable[float]) -> list[tuple[float, float]]:
+    """The CDF sampled at chosen x positions (for fixed-grid tables)."""
+    return [(x, fraction_at_most(values, x)) for x in xs]
+
+
+# ---------------------------------------------------------------------------
+# bubble plots (Figures 5, 7, 8)
+# ---------------------------------------------------------------------------
+
+#: Log-ish bin edges for IP counts, matching the figures' axis span.
+DEFAULT_BINS = (1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+def snap_to_bin(value: int, bins: Sequence[int] = DEFAULT_BINS) -> int:
+    """The largest bin edge ≤ value (values below the first edge snap up)."""
+    chosen = bins[0]
+    for edge in bins:
+        if value >= edge:
+            chosen = edge
+        else:
+            break
+    return chosen
+
+
+def bubble_counts(pairs: Iterable[tuple[int, int]],
+                  x_bins: Sequence[int] = DEFAULT_BINS,
+                  y_bins: Sequence[int] = DEFAULT_BINS
+                  ) -> dict[tuple[int, int], int]:
+    """Bin (x, y) pairs; the count per cell is the figure's bubble size."""
+    counter: Counter[tuple[int, int]] = Counter()
+    for x, y in pairs:
+        counter[(snap_to_bin(x, x_bins), snap_to_bin(y, y_bins))] += 1
+    return dict(counter)
+
+
+# ---------------------------------------------------------------------------
+# ratio categories (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RatioBreakdown:
+    """Fractions of platforms per IP-count/cache-count category."""
+
+    single_ip_single_cache: float
+    single_ip_multi_cache: float
+    multi_ip_single_cache: float
+    multi_ip_multi_cache: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "1 IP / 1 cache": self.single_ip_single_cache,
+            "1 IP / >1 cache": self.single_ip_multi_cache,
+            ">1 IP / 1 cache": self.multi_ip_single_cache,
+            ">1 IP / >1 cache": self.multi_ip_multi_cache,
+        }
+
+
+def ratio_breakdown(pairs: Iterable[tuple[int, int]]) -> RatioBreakdown:
+    """Figure 6's categories from (ip_count, cache_count) pairs."""
+    pairs = list(pairs)
+    total = len(pairs) or 1
+    ss = sum(1 for ips, caches in pairs if ips <= 1 and caches <= 1)
+    sm = sum(1 for ips, caches in pairs if ips <= 1 and caches > 1)
+    ms = sum(1 for ips, caches in pairs if ips > 1 and caches <= 1)
+    mm = sum(1 for ips, caches in pairs if ips > 1 and caches > 1)
+    return RatioBreakdown(ss / total, sm / total, ms / total, mm / total)

@@ -1,0 +1,125 @@
+"""Adoption-trend studies over virtual time (paper §I-B).
+
+"Our tools enable repetitive studies of the caches over periods of time.
+This allows to perform analyses of adoption of new mechanisms, trends,
+growth of the DNS resolution platforms and more."
+
+:class:`TrendStudy` drives exactly that: a population of platforms evolves
+between rounds (operators enable EDNS, grow their cache pools, add egress
+capacity), and each round the CDE re-measures everything.  The output is a
+time series of measured adoption/size curves next to the hidden ground
+truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.analysis import queries_for_confidence
+from ..core.edns_survey import survey_edns_adoption
+from ..core.enumeration import enumerate_direct
+from .internet import HostedPlatform, SimulatedInternet
+
+
+@dataclass
+class TrendRound:
+    timestamp: float
+    measured_edns_adoption: float
+    true_edns_adoption: float
+    measured_mean_caches: float
+    true_mean_caches: float
+
+
+@dataclass
+class EvolutionModel:
+    """What changes between rounds."""
+
+    edns_enable_probability: float = 0.15   # per non-EDNS platform per round
+    cache_growth_probability: float = 0.08  # per platform per round
+    max_caches: int = 12
+
+    def __post_init__(self) -> None:
+        for value in (self.edns_enable_probability,
+                      self.cache_growth_probability):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+
+
+class TrendStudy:
+    """Measures a fixed platform set repeatedly while it evolves."""
+
+    def __init__(self, world: SimulatedInternet,
+                 platforms: list[HostedPlatform],
+                 evolution: Optional[EvolutionModel] = None,
+                 interval: float = 86_400.0,
+                 confidence: float = 0.99,
+                 rng: Optional[random.Random] = None):
+        if not platforms:
+            raise ValueError("need at least one platform")
+        self.world = world
+        self.platforms = platforms
+        self.evolution = evolution or EvolutionModel()
+        self.interval = interval
+        self.confidence = confidence
+        self.rng = rng or world.rng_factory.stream("trends")
+        self.rounds: list[TrendRound] = []
+
+    # -- evolution (hidden from the measurement) ---------------------------
+
+    def _evolve(self) -> None:
+        from ..cache.software import BIND9_LIKE
+
+        for hosted in self.platforms:
+            platform = hosted.platform
+            if platform.config.edns_payload_size is None and \
+                    self.rng.random() < self.evolution.edns_enable_probability:
+                platform.config.edns_payload_size = 4096
+            if platform.config.n_caches < self.evolution.max_caches and \
+                    self.rng.random() < self.evolution.cache_growth_probability:
+                platform.config.n_caches += 1
+                platform.caches.append(BIND9_LIKE.build_cache(
+                    cache_id=f"{platform.config.name}/cache-grown-"
+                             f"{platform.config.n_caches}",
+                    rng=random.Random(self.rng.randrange(1 << 30)),
+                ))
+
+    # -- measurement -----------------------------------------------------------
+
+    def _measure_round(self) -> TrendRound:
+        ingress_ips = [hosted.platform.ingress_ips[0]
+                       for hosted in self.platforms]
+        survey = survey_edns_adoption(self.world.cde, self.world.prober,
+                                      ingress_ips)
+        measured_caches = []
+        for hosted in self.platforms:
+            budget = queries_for_confidence(
+                max(hosted.platform.n_caches, 2), self.confidence)
+            census = enumerate_direct(self.world.cde, self.world.prober,
+                                      hosted.platform.ingress_ips[0],
+                                      q=budget)
+            measured_caches.append(census.arrivals)
+        true_edns = sum(
+            1 for hosted in self.platforms
+            if hosted.platform.config.edns_payload_size is not None
+        ) / len(self.platforms)
+        true_caches = sum(hosted.platform.n_caches
+                          for hosted in self.platforms) / len(self.platforms)
+        return TrendRound(
+            timestamp=self.world.clock.now,
+            measured_edns_adoption=survey.adoption_rate,
+            true_edns_adoption=true_edns,
+            measured_mean_caches=sum(measured_caches) / len(measured_caches),
+            true_mean_caches=true_caches,
+        )
+
+    def run(self, rounds: int) -> list[TrendRound]:
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        for round_index in range(rounds):
+            if round_index:
+                self.world.clock.advance(self.interval)
+                self._evolve()
+            self.rounds.append(self._measure_round())
+        return self.rounds

@@ -1,0 +1,28 @@
+"""Shared fixtures: a clean simulated world per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study import SimulatedInternet, WorldConfig, build_world
+
+
+@pytest.fixture
+def world() -> SimulatedInternet:
+    """A deterministic, loss-free world (loss tests opt in explicitly)."""
+    return SimulatedInternet(WorldConfig(seed=7, lossy_platforms=False))
+
+
+@pytest.fixture
+def lossy_world() -> SimulatedInternet:
+    return SimulatedInternet(WorldConfig(seed=7, lossy_platforms=True))
+
+
+@pytest.fixture
+def single_cache_platform(world):
+    return world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+
+
+@pytest.fixture
+def multi_cache_platform(world):
+    return world.add_platform(n_ingress=2, n_caches=4, n_egress=3)

@@ -1,0 +1,52 @@
+"""Tests for cache software profiles."""
+
+import pytest
+
+from repro.cache import (
+    APPLIANCE_LIKE,
+    BIND9_LIKE,
+    PROFILES,
+    UNBOUND_LIKE,
+    WINDOWS_DNS_LIKE,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert set(PROFILES) == {
+            "bind9-like", "unbound-like", "windows-dns-like", "appliance-like",
+        }
+
+    def test_profile_by_name(self):
+        assert profile_by_name("bind9-like") is BIND9_LIKE
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            profile_by_name("powerdns")
+
+    def test_profiles_distinguishable_by_clamps(self):
+        """Fingerprinting needs the (max_ttl, negative_cap, min_ttl) triple
+        to be unique per profile."""
+        triples = {(p.max_ttl, p.negative_ttl_cap, p.min_ttl)
+                   for p in PROFILES.values()}
+        assert len(triples) == len(PROFILES)
+
+    def test_build_cache_applies_profile(self):
+        cache = UNBOUND_LIKE.build_cache(cache_id="c1")
+        assert cache.max_ttl == 86_400
+        assert cache.negative_ttl_cap == 3_600
+        assert cache.policy.name == "lfu"
+        assert cache.cache_id == "c1"
+
+    def test_build_cache_capacity_override(self):
+        cache = WINDOWS_DNS_LIKE.build_cache(capacity=5)
+        assert cache.capacity == 5
+
+    def test_appliance_min_ttl_floor(self):
+        cache = APPLIANCE_LIKE.build_cache()
+        assert cache.clamp_ttl(1) == 60
+
+    def test_bind_week_long_max(self):
+        cache = BIND9_LIKE.build_cache()
+        assert cache.clamp_ttl(10 ** 9) == 604_800

@@ -1,0 +1,193 @@
+"""Tests for the indirect-prober substrates: browser, SMTP, ad network."""
+
+import random
+
+import pytest
+
+from repro.client import (
+    AdCampaign,
+    Browser,
+    SmtpAuthPolicy,
+    SmtpServer,
+    TABLE1_FRACTIONS,
+)
+from repro.dns import RRType, name
+
+
+@pytest.fixture
+def platform(world):
+    return world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+
+
+@pytest.fixture
+def browser(world, platform):
+    return world.make_browser(platform)
+
+
+class TestBrowser:
+    def test_fetch_resolves(self, browser):
+        result = browser.fetch("http://site.cache.example/page")
+        assert result.resolved
+        assert result.address is not None
+        assert result.hostname == name("site.cache.example")
+
+    def test_hostname_parsing(self):
+        assert Browser._hostname_of("https://a.b.c:8080/x?y=z") == name("a.b.c")
+        assert Browser._hostname_of("a.b.c/x") == name("a.b.c")
+
+    def test_browser_cache_absorbs_repeats(self, world, browser):
+        browser.fetch("http://repeat.cache.example/")
+        since = world.clock.now
+        result = browser.fetch("http://repeat.cache.example/other-path")
+        assert result.from_browser_cache
+        assert world.cde.count_queries_for(name("repeat.cache.example"),
+                                           since=since) == 0
+
+    def test_browser_cache_expires_by_wall_time(self, world, browser):
+        """The host cache pins entries for a fixed period regardless of the
+        record TTL — the IE/Chrome behaviour the paper's bypasses fight."""
+        browser.fetch("http://pin.cache.example/")
+        world.clock.advance(browser.host_cache_seconds + 1)
+        result = browser.fetch("http://pin.cache.example/")
+        assert not result.from_browser_cache
+
+    def test_browser_cache_ignores_long_ttl(self, world, platform):
+        browser = world.make_browser(platform)
+        probe = world.cde.unique_name("btl")
+        world.cde.add_a_record(probe, ttl=10)  # shorter than host cache
+        browser.fetch(f"http://{probe}/")
+        world.clock.advance(30)  # record TTL long gone, host cache not
+        result = browser.fetch(f"http://{probe}/")
+        assert result.from_browser_cache
+
+    def test_failed_resolution_cached(self, world, platform):
+        browser = world.make_browser(platform)
+        result = browser.fetch("http://missing.ns.cache.example/")
+        assert not result.resolved
+        again = browser.fetch("http://missing.ns.cache.example/")
+        assert again.from_browser_cache
+
+    def test_clear_host_cache(self, browser):
+        browser.fetch("http://clear.cache.example/")
+        browser.clear_host_cache()
+        result = browser.fetch("http://clear.cache.example/")
+        assert not result.from_browser_cache
+        assert result.from_os_cache  # still in the stub's cache
+
+    def test_two_cache_layers(self, world, platform):
+        """Browser layer and OS layer are distinct: clearing the browser
+        cache exposes the OS cache underneath."""
+        browser = world.make_browser(platform)
+        first = browser.fetch("http://layers.cache.example/")
+        assert not first.from_browser_cache and not first.from_os_cache
+        browser.clear_host_cache()
+        second = browser.fetch("http://layers.cache.example/")
+        assert second.from_os_cache
+
+
+class TestSmtpServer:
+    def make_server(self, world, platform, **policy_kwargs):
+        policy = SmtpAuthPolicy(**policy_kwargs)
+        return world.make_smtp_server("corp.example", platform, policy)
+
+    def test_bounce_for_unknown_recipient(self, world, platform):
+        server = self.make_server(world, platform, resolves_bounce_mx=True)
+        attempt = server.receive_message("a@probe-1.cache.example",
+                                         "ghost@corp.example")
+        assert attempt.bounced
+
+    def test_no_bounce_for_known_mailbox(self, world, platform):
+        server = self.make_server(world, platform, resolves_bounce_mx=True)
+        attempt = server.receive_message("a@probe-2.cache.example",
+                                         "postmaster@corp.example")
+        assert not attempt.bounced
+        # No DSN -> no MX lookup.
+        assert all(qtype != RRType.MX for _, qtype in attempt.lookups)
+
+    def test_spf_lookup_reaches_nameserver(self, world, platform):
+        server = self.make_server(world, platform, checks_spf_txt=True)
+        sender = world.cde.unique_name("spf")
+        since = world.clock.now
+        server.receive_message(f"a@{sender}", "ghost@corp.example")
+        assert world.cde.count_queries_for(sender, since=since,
+                                           qtype=RRType.TXT) == 1
+
+    def test_legacy_spf_uses_spf_qtype(self, world, platform):
+        server = self.make_server(world, platform, checks_spf_legacy=True)
+        sender = world.cde.unique_name("spf99")
+        since = world.clock.now
+        server.receive_message(f"a@{sender}", "ghost@corp.example")
+        assert world.cde.count_queries_for(sender, since=since,
+                                           qtype=RRType.SPF) == 1
+
+    def test_dmarc_lookup_at_underscore_label(self, world, platform):
+        server = self.make_server(world, platform, checks_dmarc=True)
+        sender = world.cde.unique_name("dmarc")
+        since = world.clock.now
+        server.receive_message(f"a@{sender}", "ghost@corp.example")
+        assert world.cde.count_queries_for(sender.prepend("_dmarc"),
+                                           since=since) == 1
+
+    def test_bounce_mx_then_a(self, world, platform):
+        server = self.make_server(world, platform, resolves_bounce_mx=True)
+        sender = world.cde.unique_name("dsn")
+        server.receive_message(f"a@{sender}", "ghost@corp.example")
+        qtypes = [qtype for _, qtype in server.attempts[-1].lookups]
+        assert qtypes == [RRType.MX, RRType.A]
+
+    def test_full_policy_lookup_count(self, world, platform):
+        server = self.make_server(
+            world, platform, checks_spf_txt=True, checks_spf_legacy=True,
+            checks_adsp=True, checks_dkim=True, checks_dmarc=True,
+            resolves_bounce_mx=True)
+        sender = world.cde.unique_name("full")
+        server.receive_message(f"a@{sender}", "ghost@corp.example")
+        assert len(server.attempts[-1].lookups) == 7
+
+    def test_policy_draw_matches_fractions(self):
+        rng = random.Random(5)
+        draws = [SmtpAuthPolicy.draw(rng) for _ in range(3000)]
+        spf_rate = sum(policy.checks_spf_txt for policy in draws) / len(draws)
+        assert abs(spf_rate - TABLE1_FRACTIONS["spf_txt"]) < 0.03
+        dkim_rate = sum(policy.checks_dkim for policy in draws) / len(draws)
+        assert dkim_rate < 0.02
+
+
+class TestAdCampaign:
+    def test_completion_rate_near_paper(self, world, platform):
+        campaign = AdCampaign(rng=random.Random(0))
+        browser = world.make_browser(platform)
+        for _ in range(3000):
+            campaign.serve(browser, lambda b: [])
+        rate = campaign.stats.completion_rate
+        assert 0.01 <= rate <= 0.03  # paper: ~1:50
+
+    def test_script_runs_only_on_completion(self, world, platform):
+        campaign = AdCampaign(script_load_rate=1.0, completion_rate=1.0,
+                              rng=random.Random(0))
+        browser = world.make_browser(platform)
+        ran = []
+        impression = campaign.serve(browser,
+                                    lambda b: ran.append(1) or ["u"])
+        assert impression.completed
+        assert impression.fetched_urls == ["u"]
+        assert ran
+
+    def test_incomplete_impression_runs_nothing(self, world, platform):
+        campaign = AdCampaign(script_load_rate=1.0, completion_rate=1e-9,
+                              rng=random.Random(0))
+        browser = world.make_browser(platform)
+        impression = campaign.serve(browser, lambda b: ["u"])
+        assert not impression.completed
+        assert impression.fetched_urls == []
+
+    def test_expected_completions(self):
+        campaign = AdCampaign(script_load_rate=0.95, completion_rate=0.02)
+        assert campaign.expected_completions(12_000) == \
+            pytest.approx(12_000 * 0.95 * 0.02)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            AdCampaign(script_load_rate=0.0)
+        with pytest.raises(ValueError):
+            AdCampaign(completion_rate=1.5)

@@ -1,0 +1,80 @@
+"""Tests for the shared web-proxy DNS layer."""
+
+import pytest
+
+from repro.core import (
+    BrowserProber,
+    enumerate_indirect_cname,
+    enumerate_indirect_hierarchy,
+    queries_for_confidence,
+)
+from repro.dns import name
+
+
+@pytest.fixture
+def proxied(world):
+    hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+    proxy = world.make_proxy(hosted)
+    browsers = [world.make_browser(hosted, proxy=proxy) for _ in range(3)]
+    return hosted, proxy, browsers
+
+
+class TestWebProxy:
+    def test_resolves_for_clients(self, world, proxied):
+        _, proxy, browsers = proxied
+        result = browsers[0].fetch("http://proxied.cache.example/")
+        assert result.resolved
+        assert proxy.resolutions == 1
+
+    def test_proxy_cache_shared_across_clients(self, world, proxied):
+        """Client A's lookup shields client B's repeat — the query never
+        reaches the platform, let alone our nameserver."""
+        hosted, proxy, browsers = proxied
+        browsers[0].fetch("http://shared.cache.example/")
+        since = world.clock.now
+        result = browsers[1].fetch("http://shared.cache.example/")
+        assert result.from_os_cache  # served from the proxy layer
+        assert proxy.cache_hits == 1
+        assert world.cde.count_queries_for(name("shared.cache.example"),
+                                           since=since) == 0
+
+    def test_browser_host_cache_still_first(self, world, proxied):
+        _, proxy, browsers = proxied
+        browsers[0].fetch("http://layered.cache.example/")
+        browsers[0].fetch("http://layered.cache.example/")
+        assert proxy.resolutions == 1  # second fetch never left the browser
+
+    def test_failure_propagates(self, world, proxied):
+        _, _, browsers = proxied
+        result = browsers[0].fetch("http://missing.ns.cache.example/")
+        assert not result.resolved
+
+
+class TestBypassesThroughProxy:
+    """Three local cache layers (browser, proxy, proxy-host OS) and the
+    bypasses still count exactly — the probe names stay distinct."""
+
+    def test_cname_chain_through_proxy(self, world, proxied):
+        hosted, _, browsers = proxied
+        prober = BrowserProber(browsers[0])
+        budget = queries_for_confidence(3, 0.999)
+        result = enumerate_indirect_cname(world.cde, prober, q=budget)
+        assert result.arrivals == 3
+
+    def test_hierarchy_through_proxy(self, world, proxied):
+        hosted, _, browsers = proxied
+        prober = BrowserProber(browsers[1])
+        budget = queries_for_confidence(3, 0.999)
+        result = enumerate_indirect_hierarchy(world.cde, prober, q=budget)
+        assert result.arrivals == 3
+
+    def test_naive_repeats_blocked_one_layer_earlier(self, world, proxied):
+        hosted, proxy, browsers = proxied
+        probe = world.cde.unique_name("proxy-naive")
+        # Different browsers, same hostname: the proxy absorbs all repeats.
+        since = world.clock.now
+        for browser in browsers:
+            BrowserProber(browser).trigger([probe] * 5)
+        arrivals = world.cde.count_queries_for(probe, since=since)
+        assert arrivals == 1
+        assert proxy.cache_hits >= 2

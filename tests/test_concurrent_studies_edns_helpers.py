@@ -1,0 +1,98 @@
+"""Interleaved-study isolation tests and EDNS helper coverage."""
+
+import pytest
+
+from repro.core import (
+    enumerate_direct,
+    enumerate_two_phase,
+    map_ingress_to_clusters,
+    queries_for_confidence,
+)
+from repro.dns import DnsMessage, RRType, name
+from repro.dns.edns import DEFAULT_PAYLOAD_SIZE, probe_edns
+
+
+class TestInterleavedStudies:
+    """One CDE infrastructure serves many concurrent measurement campaigns;
+    fresh probe names and since-marks must isolate them completely."""
+
+    def test_interleaved_enumerations_do_not_interfere(self, world):
+        small = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        large = world.add_platform(n_ingress=1, n_caches=5, n_egress=1)
+        budget = queries_for_confidence(5, 0.999)
+        # Interleave probes by hand: alternate between the two campaigns.
+        name_small = world.cde.unique_name("campaign-a")
+        name_large = world.cde.unique_name("campaign-b")
+        since = world.clock.now
+        for _ in range(budget):
+            world.prober.probe(small.platform.ingress_ips[0], name_small)
+            world.prober.probe(large.platform.ingress_ips[0], name_large)
+        count_small = world.cde.count_queries_for(name_small, since=since)
+        count_large = world.cde.count_queries_for(name_large, since=since)
+        assert count_small == 2
+        assert count_large == 5
+
+    def test_interleaved_two_phase_and_direct(self, world):
+        first = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        second = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        # Run a two-phase campaign against one while a direct census runs
+        # against the other; both use the same nameserver + log.
+        two_phase = enumerate_two_phase(world.cde, world.prober,
+                                        first.platform.ingress_ips[0],
+                                        seeds=30)
+        direct = enumerate_direct(world.cde, world.prober,
+                                  second.platform.ingress_ips[0],
+                                  q=queries_for_confidence(3, 0.999))
+        assert direct.arrivals == 3
+        assert two_phase.init_arrivals == 30
+
+    def test_clustering_with_unrelated_traffic(self, world):
+        target = world.add_platform(n_ingress=2, n_caches=2, n_egress=1)
+        noise = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        # Saturate the log with unrelated noise traffic first.
+        for _ in range(40):
+            world.prober.probe(noise.platform.ingress_ips[0],
+                               world.cde.unique_name("noise"))
+        result = map_ingress_to_clusters(world.cde, world.prober,
+                                         target.platform.ingress_ips)
+        assert result.n_clusters == 1
+
+    def test_shared_log_counts_are_name_scoped(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        probe_a = world.cde.unique_name("scope-a")
+        probe_b = world.cde.unique_name("scope-b")
+        since = world.clock.now
+        world.prober.probe(hosted.platform.ingress_ips[0], probe_a)
+        assert world.cde.count_queries_for(probe_b, since=since) == 0
+
+
+class TestEdnsHelpers:
+    def test_probe_edns_supporting_responder(self, world,
+                                             single_cache_platform):
+        ingress = single_cache_platform.platform.ingress_ips[0]
+
+        def send(query):
+            return world.network.query(world.prober_ip, ingress,
+                                       query).response
+
+        query = DnsMessage.make_query(world.cde.unique_name("edns-h"),
+                                      RRType.A)
+        result = probe_edns(send, query)
+        assert result.supports_edns
+        assert result.advertised_size == 4096
+        assert query.edns_payload_size == DEFAULT_PAYLOAD_SIZE
+
+    def test_probe_edns_legacy_responder(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hosted.platform.config.edns_payload_size = None
+        ingress = hosted.platform.ingress_ips[0]
+
+        def send(query):
+            return world.network.query(world.prober_ip, ingress,
+                                       query).response
+
+        query = DnsMessage.make_query(world.cde.unique_name("edns-h"),
+                                      RRType.A)
+        result = probe_edns(send, query)
+        assert not result.supports_edns
+        assert result.advertised_size is None

@@ -1,0 +1,239 @@
+"""Tests for the motivation-section applications: full studies, TTL
+diagnosis, resilience, fingerprinting (paper §II, §V)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CdeStudy,
+    StudyParameters,
+    TtlVerdict,
+    check_ttl_consistency,
+    detect_cache_failures,
+    expected_attempts_to_poison,
+    fingerprint_platform,
+    naive_ttl_study_would_misreport,
+    observe_ttl_clamps,
+    poisoning_success_probability,
+    simulate_poisoning_attempts,
+)
+from repro.resolver import (
+    QnameHashSelector,
+    RoundRobinSelector,
+    UniformRandomSelector,
+)
+
+
+class TestCdeStudy:
+    def test_full_study_recovers_ground_truth(self, world):
+        hosted = world.add_platform(n_ingress=3, n_caches=4, n_egress=3)
+        report = world.study(hosted)
+        assert report.cache_count == 4
+        assert report.n_egress_ips == 3
+        assert report.n_ingress_clusters == 1
+        assert report.queries_sent > 0
+
+    def test_single_single_platform(self, world, single_cache_platform):
+        report = world.study(single_cache_platform)
+        assert report.cache_count == 1
+        assert report.n_egress_ips == 1
+
+    def test_study_without_mapping_phases(self, world, multi_cache_platform):
+        study = CdeStudy(world.cde, world.prober)
+        report = study.run(multi_cache_platform.platform.ingress_ips[:1],
+                           map_ingress=False, discover_egress=False)
+        assert report.ingress_mapping is None
+        assert report.egress is None
+        assert report.cache_count == 4
+
+    def test_lossy_platform_uses_carpet(self, lossy_world):
+        hosted = lossy_world.add_platform(n_ingress=1, n_caches=2,
+                                          n_egress=1, country="IR")
+        report = lossy_world.study(hosted)
+        assert report.carpet_k >= 2
+        assert any("carpet" in note for note in report.notes)
+        assert report.cache_count == 2
+
+    def test_empty_ingress_rejected(self, world):
+        study = CdeStudy(world.cde, world.prober)
+        with pytest.raises(ValueError):
+            study.run([])
+
+    def test_parameters_respected(self, world, multi_cache_platform):
+        params = StudyParameters(egress_probes=5, membership_probes=1)
+        study = CdeStudy(world.cde, world.prober, params)
+        report = study.run(multi_cache_platform.platform.ingress_ips[:1])
+        assert report.egress.queries_sent == 5
+
+
+class TestTtlConsistency:
+    """§II-C.1: multiple caches vs. genuine TTL violations."""
+
+    def test_consistent_multi_cache_platform(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        report = check_ttl_consistency(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       record_ttl=600)
+        assert report.verdict == TtlVerdict.CONSISTENT
+        assert report.measured_caches == 3
+        assert report.multi_cache_explained
+        assert naive_ttl_study_would_misreport(report) is not None
+
+    def test_single_cache_no_misreport(self, world, single_cache_platform):
+        report = check_ttl_consistency(
+            world.cde, world.prober,
+            single_cache_platform.platform.ingress_ips[0], record_ttl=600)
+        assert report.verdict == TtlVerdict.CONSISTENT
+        assert naive_ttl_study_would_misreport(report) is None
+
+    def test_min_ttl_clamp_detected_as_extension(self, world):
+        """A platform with a TTL floor holds records past their real TTL."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1,
+                                    min_ttl=4000)
+        report = check_ttl_consistency(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       record_ttl=600)
+        assert report.verdict == TtlVerdict.EXTENDED_TTL
+
+    def test_max_ttl_clamp_detected_as_early_expiry(self, world):
+        """A platform that truncates TTLs re-fetches inside the record TTL."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1,
+                                    max_ttl=30)
+        report = check_ttl_consistency(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       record_ttl=600)
+        assert report.verdict == TtlVerdict.EARLY_EXPIRY
+
+    def test_tiny_ttl_rejected(self, world, single_cache_platform):
+        with pytest.raises(ValueError):
+            check_ttl_consistency(world.cde, world.prober,
+                                  single_cache_platform.platform.ingress_ips[0],
+                                  record_ttl=2)
+
+
+class TestFailureDetection:
+    """§II-B: 'a DNS platform uses four caches, but our tool measures two,
+    namely two are down.'"""
+
+    def test_healthy_platform(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        report = detect_cache_failures(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       baseline_caches=4)
+        assert not report.degraded
+        assert report.failed_caches == 0
+
+    def test_two_of_four_down(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        hosted.platform.take_cache_offline(1)
+        hosted.platform.take_cache_offline(3)
+        report = detect_cache_failures(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       baseline_caches=4)
+        assert report.degraded
+        assert report.measured_caches == 2
+        assert report.failed_caches == 2
+
+    def test_recovery_observed(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        hosted.platform.take_cache_offline(0)
+        ingress = hosted.platform.ingress_ips[0]
+        degraded = detect_cache_failures(world.cde, world.prober, ingress,
+                                         baseline_caches=2)
+        assert degraded.failed_caches == 1
+        hosted.platform.bring_cache_online(0)
+        recovered = detect_cache_failures(world.cde, world.prober, ingress,
+                                          baseline_caches=2)
+        assert recovered.failed_caches == 0
+
+
+class TestPoisoningResilience:
+    """§II-A: multiple caches harden against record injection."""
+
+    def test_single_cache_always_aligns(self):
+        assert poisoning_success_probability(1, records_needed=2,
+                                             attempts=1) == 1.0
+
+    def test_probability_drops_with_caches(self):
+        probabilities = [poisoning_success_probability(n, 2, 1)
+                         for n in (1, 2, 4, 8, 16)]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[-1] == pytest.approx(1 / 16)
+
+    def test_probability_drops_with_records(self):
+        assert poisoning_success_probability(4, records_needed=3, attempts=1) \
+            == pytest.approx(1 / 16)
+
+    def test_expected_attempts(self):
+        assert expected_attempts_to_poison(8, 2) == 8.0
+        assert expected_attempts_to_poison(8, 3) == 64.0
+
+    def test_simulation_matches_uniform_theory(self):
+        successes = simulate_poisoning_attempts(
+            UniformRandomSelector(random.Random(0)), n_caches=4,
+            records_needed=2, attempts=8000)
+        assert successes / 8000 == pytest.approx(0.25, abs=0.03)
+
+    def test_round_robin_never_aligns(self):
+        """Adjacent spoofed records always land in different caches: a
+        predictable-but-rotating balancer beats the uniform bound."""
+        successes = simulate_poisoning_attempts(
+            RoundRobinSelector(), n_caches=4, records_needed=2, attempts=100)
+        assert successes == 0
+
+    def test_qname_hash_always_aligns(self):
+        """Per-name hashing sends related records to one cache: weaker than
+        the uniform bound — topology knowledge matters (the paper's point)."""
+        successes = simulate_poisoning_attempts(
+            QnameHashSelector(), n_caches=4, records_needed=2, attempts=100)
+        assert successes == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            poisoning_success_probability(0)
+        with pytest.raises(ValueError):
+            poisoning_success_probability(4, records_needed=0)
+        with pytest.raises(ValueError):
+            poisoning_success_probability(4, 2, attempts=-1)
+
+
+class TestFingerprinting:
+    def test_max_ttl_clamp_observed(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        observation = observe_ttl_clamps(world.cde, world.prober,
+                                         hosted.platform.ingress_ips[0])
+        # Default platform caches are BIND9-like: one-week clamp.
+        assert observation.observed_max_ttl == 604_800
+
+    def test_no_min_ttl_on_default(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        observation = observe_ttl_clamps(world.cde, world.prober,
+                                         hosted.platform.ingress_ips[0])
+        assert observation.observed_min_ttl == 0
+
+    def test_identifies_bind_like(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        results = fingerprint_platform(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       samples=1)
+        assert results[0].candidates == ["bind9-like"]
+        assert results[0].identified == "bind9-like"
+
+    def test_identifies_appliance_floor(self, world):
+        from repro.cache import APPLIANCE_LIKE
+        from repro.resolver import PlatformConfig, ResolutionPlatform
+
+        pool = world.platform_allocator.allocate_pool(2)
+        config = PlatformConfig(
+            name="appliance", ingress_ips=[pool.allocate()],
+            egress_ips=[pool.allocate()], n_caches=1,
+            software_profiles=[APPLIANCE_LIKE],
+        )
+        platform = ResolutionPlatform(config, world.network,
+                                      world.hierarchy.root_hints)
+        platform.attach()
+        observation = observe_ttl_clamps(world.cde, world.prober,
+                                         config.ingress_ips[0])
+        assert observation.observed_min_ttl == 60
+        assert observation.observed_max_ttl == 86_400

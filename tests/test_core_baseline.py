@@ -1,0 +1,78 @@
+"""Tests for the IP-level baseline (prior-work view)."""
+
+from repro.core import (
+    egress_software_fingerprint,
+    enumerate_adaptive,
+    ip_level_census,
+)
+
+
+class TestIpLevelCensus:
+    def test_counts_addresses_not_caches(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=6, n_egress=1)
+        census = ip_level_census(world.cde, world.prober,
+                                 hosted.platform.ingress_ips)
+        # 1 ingress + 1 egress: the six caches are invisible.
+        assert census.device_count == 2
+
+    def test_finds_all_responsive_ingress(self, world):
+        hosted = world.add_platform(n_ingress=3, n_caches=1, n_egress=1)
+        census = ip_level_census(world.cde, world.prober,
+                                 hosted.platform.ingress_ips)
+        assert census.responsive_ingress == set(hosted.platform.ingress_ips)
+
+    def test_closed_resolver_not_responsive(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hosted.platform.config.open_to = "172.16.0.0/12"
+        census = ip_level_census(world.cde, world.prober,
+                                 hosted.platform.ingress_ips)
+        # REFUSED responses arrive but carry no answers; the scan counts
+        # the address as responsive (it answered), matching real scans.
+        assert hosted.platform.ingress_ips[0] in census.responsive_ingress
+
+    def test_egress_subset_of_truth(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=4)
+        census = ip_level_census(world.cde, world.prober,
+                                 hosted.platform.ingress_ips,
+                                 probes_per_ip=16)
+        assert census.observed_egress <= set(hosted.platform.egress_ips)
+        assert census.observed_egress
+
+    def test_disagrees_with_cache_census(self, world):
+        """The paper's claim, as a test: the address count is not the cache
+        count, in either direction."""
+        heavy_caches = world.add_platform(n_ingress=1, n_caches=5, n_egress=1)
+        heavy_addrs = world.add_platform(n_ingress=6, n_caches=1, n_egress=6)
+        for hosted in (heavy_caches, heavy_addrs):
+            baseline = ip_level_census(world.cde, world.prober,
+                                       hosted.platform.ingress_ips)
+            cde = enumerate_adaptive(world.cde, world.prober,
+                                     hosted.platform.ingress_ips[0],
+                                     confidence=0.999)
+            assert cde.cache_count == hosted.platform.n_caches
+            assert baseline.device_count != cde.cache_count
+
+
+class TestEgressFingerprint:
+    def test_one_fingerprint_per_egress(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=3)
+        fingerprints = egress_software_fingerprint(
+            world.cde, world.prober, hosted.platform.ingress_ips[0],
+            probes=24)
+        assert 1 <= len(fingerprints) <= 3
+        assert all(fp.queries_seen >= 1 for fp in fingerprints)
+        assert {fp.egress_ip for fp in fingerprints} <= \
+            set(hosted.platform.egress_ips)
+
+    def test_blind_to_cache_multiplicity(self, world):
+        """Same egress pool, wildly different cache pools: identical
+        fingerprints — §VI's 'not representative of a resolution
+        platform'."""
+        small = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        large = world.add_platform(n_ingress=1, n_caches=8, n_egress=1)
+        fp_small = egress_software_fingerprint(
+            world.cde, world.prober, small.platform.ingress_ips[0])
+        fp_large = egress_software_fingerprint(
+            world.cde, world.prober, large.platform.ingress_ips[0])
+        assert len(fp_small) == len(fp_large) == 1
+        assert fp_small[0].uses_edns == fp_large[0].uses_edns

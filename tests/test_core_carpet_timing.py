@@ -1,0 +1,173 @@
+"""Tests for carpet bombing (§V) and the timing side channel (§IV-B3)."""
+
+import pytest
+
+from repro.core import (
+    CarpetProber,
+    LatencyClassifier,
+    calibrate_timing,
+    carpet_k,
+    enumerate_by_timing,
+    enumerate_direct,
+    estimate_loss,
+    queries_for_confidence,
+)
+from repro.net import PAPER_LOSS_RATES
+
+
+class TestCarpetK:
+    def test_clean_path_needs_one(self):
+        assert carpet_k(0.0) == 1
+
+    def test_iran_rate(self):
+        """11% loss, 99% confidence: loss^K <= 0.01 -> K = 3."""
+        assert carpet_k(PAPER_LOSS_RATES["IR"], 0.99) == 3
+
+    def test_china_rate(self):
+        assert carpet_k(PAPER_LOSS_RATES["CN"], 0.99) == 2
+
+    def test_typical_rate(self):
+        assert carpet_k(0.01, 0.99) == 1
+
+    def test_k_grows_with_loss(self):
+        ks = [carpet_k(rate) for rate in (0.01, 0.04, 0.11, 0.5, 0.9)]
+        assert ks == sorted(ks)
+
+    def test_cap(self):
+        assert carpet_k(0.99, 0.9999, k_cap=16) == 16
+
+    def test_guarantee_holds(self):
+        for rate in (0.04, 0.11, 0.3):
+            k = carpet_k(rate, 0.99)
+            assert rate ** k <= 0.01
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            carpet_k(1.0)
+        with pytest.raises(ValueError):
+            carpet_k(0.1, confidence=0.0)
+
+
+class TestLossEstimation:
+    def test_zero_on_clean_world(self, world, single_cache_platform):
+        probe_name = world.cde.unique_name("loss")
+        loss = estimate_loss(world.prober,
+                             single_cache_platform.platform.ingress_ips[0],
+                             probe_name, probes=20)
+        assert loss.rate == 0.0
+
+    def test_measures_lossy_path(self, lossy_world):
+        hosted = lossy_world.add_platform(n_ingress=1, n_caches=1, n_egress=1,
+                                          country="IR")
+        probe_name = lossy_world.cde.unique_name("loss")
+        loss = estimate_loss(lossy_world.prober,
+                             hosted.platform.ingress_ips[0],
+                             probe_name, probes=400)
+        # 11% per traversal, two traversals: 1-(0.89)^2 ~ 0.21 round trip.
+        assert 0.12 < loss.rate < 0.32
+
+    def test_empty_probes_rejected(self, world, single_cache_platform):
+        with pytest.raises(ValueError):
+            estimate_loss(world.prober,
+                          single_cache_platform.platform.ingress_ips[0],
+                          world.cde.unique_name("x"), probes=0)
+
+
+class TestCarpetProber:
+    def test_invalid_k(self, world):
+        with pytest.raises(ValueError):
+            CarpetProber(world.prober, 0)
+
+    def test_probe_interface_compatible(self, world, multi_cache_platform):
+        carpet = CarpetProber(world.prober, 2)
+        result = carpet.probe(multi_cache_platform.platform.ingress_ips[0],
+                              world.cde.unique_name("cp"))
+        assert result.delivered
+        assert result.rtt is not None
+
+    def test_tuned_sizes_from_measured_loss(self, lossy_world):
+        hosted = lossy_world.add_platform(n_ingress=1, n_caches=1, n_egress=1,
+                                          country="IR")
+        carpet = CarpetProber.tuned(lossy_world.prober, lossy_world.cde,
+                                    hosted.platform.ingress_ips[0],
+                                    calibration_probes=200)
+        assert carpet.k >= 2
+
+    def test_enumeration_under_heavy_loss(self, lossy_world):
+        """The paper's motivating scenario: without carpet bombing, Iranian
+        loss rates break the census; with it, the count is recovered."""
+        hosted = lossy_world.add_platform(n_ingress=1, n_caches=3, n_egress=1,
+                                          country="IR")
+        ingress = hosted.platform.ingress_ips[0]
+        carpet = CarpetProber.tuned(lossy_world.prober, lossy_world.cde,
+                                    ingress, calibration_probes=100)
+        budget = queries_for_confidence(3, 0.999)
+        result = enumerate_direct(lossy_world.cde, carpet, ingress, q=budget)
+        assert result.arrivals == 3
+
+
+class TestLatencyClassifier:
+    def test_fit_separated_populations(self):
+        classifier = LatencyClassifier.fit(
+            hit_samples=[0.010, 0.012, 0.011, 0.013],
+            miss_samples=[0.050, 0.055, 0.048, 0.060],
+        )
+        assert 0.013 < classifier.threshold < 0.048
+        assert not classifier.is_miss(0.012)
+        assert classifier.is_miss(0.050)
+
+    def test_fit_overlapping_falls_back_to_medians(self):
+        classifier = LatencyClassifier.fit(
+            hit_samples=[0.010, 0.030],
+            miss_samples=[0.020, 0.040],
+        )
+        assert classifier.threshold == pytest.approx(0.025)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyClassifier.fit([], [0.1])
+
+    def test_separation_metric(self):
+        good = LatencyClassifier.fit([0.01, 0.011, 0.012],
+                                     [0.05, 0.051, 0.052])
+        assert good.separation > 2
+
+
+class TestTimingEnumeration:
+    def test_calibration_separates_hit_miss(self, world,
+                                            multi_cache_platform):
+        calibration = calibrate_timing(
+            world.cde, world.prober,
+            multi_cache_platform.platform.ingress_ips[0], samples=15)
+        assert calibration.classifier.separation > 1.0
+
+    @pytest.mark.parametrize("n_caches", [1, 2, 4])
+    def test_counts_without_log_access(self, world, n_caches):
+        """§IV-B3: the count comes from latency classification alone."""
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        result = enumerate_by_timing(world.cde, world.prober, ingress,
+                                     probes=queries_for_confidence(
+                                         n_caches, 0.999))
+        assert result.miss_latency_count == n_caches
+
+    def test_matches_log_based_count(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        timing = enumerate_by_timing(world.cde, world.prober, ingress,
+                                     probes=60)
+        direct = enumerate_direct(world.cde, world.prober, ingress, q=60)
+        assert timing.cache_count == direct.cache_count
+
+    def test_invalid_probes(self, world, single_cache_platform):
+        with pytest.raises(ValueError):
+            enumerate_by_timing(world.cde, world.prober,
+                                single_cache_platform.platform.ingress_ips[0],
+                                probes=0)
+
+    def test_calibration_sample_minimum(self, world, single_cache_platform):
+        with pytest.raises(ValueError):
+            calibrate_timing(world.cde, world.prober,
+                             single_cache_platform.platform.ingress_ips[0],
+                             samples=1)

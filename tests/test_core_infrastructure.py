@@ -1,0 +1,129 @@
+"""Tests for the CDE infrastructure (controlled zones + counting)."""
+
+import pytest
+
+from repro.dns import DnsMessage, LookupKind, RCode, RRType, name
+
+
+class TestProvisioning:
+    def test_zone_delegated_from_tld(self, world):
+        """The TLD must refer to our nameserver."""
+        tld_server = world.hierarchy.tld_server("example")
+        zone = tld_server.zone_for(name("cache.example"))
+        result = zone.lookup(name("cache.example"), RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+
+    def test_nameserver_answers_wildcard(self, world):
+        query = DnsMessage.make_query(name("random-thing.cache.example"),
+                                      RRType.A)
+        response = world.network.query(world.prober_ip, world.cde.ns_ip,
+                                       query).response
+        assert response.answers[0].rdata.address == world.cde.answer_ip
+
+    def test_unique_names_never_repeat(self, world):
+        names = world.cde.unique_names(100)
+        assert len(set(names)) == 100
+        assert all(n.is_subdomain_of(world.cde.base_domain) for n in names)
+
+    def test_add_a_record(self, world):
+        owner = world.cde.unique_name("custom")
+        world.cde.add_a_record(owner, "198.51.100.77", ttl=120)
+        result = world.cde.zone.lookup(owner, RRType.A)
+        assert result.records[0].rdata.address == "198.51.100.77"
+
+
+class TestCnameChainSetup:
+    def test_paper_fragment_shape(self, world):
+        chain = world.cde.setup_cname_chain(q=5)
+        assert len(chain.aliases) == 5
+        for alias in chain.aliases:
+            result = world.cde.zone.lookup(alias, RRType.A)
+            assert result.kind == LookupKind.CNAME
+            assert result.records[0].rdata.target == chain.target
+        target_result = world.cde.zone.lookup(chain.target, RRType.A)
+        assert target_result.kind == LookupKind.ANSWER
+
+    def test_chains_do_not_collide(self, world):
+        first = world.cde.setup_cname_chain(q=3)
+        second = world.cde.setup_cname_chain(q=3)
+        assert first.target != second.target
+        assert not set(map(str, first.aliases)) & set(map(str, second.aliases))
+
+    def test_minimal_responses_withhold_target(self, world):
+        """The counting trick requires the CNAME answer to omit the target's
+        A record, forcing a separate target fetch per cache."""
+        chain = world.cde.setup_cname_chain(q=1)
+        query = DnsMessage.make_query(chain.aliases[0], RRType.A)
+        response = world.network.query(world.prober_ip, world.cde.ns_ip,
+                                       query).response
+        assert [record.rtype for record in response.answers] == [RRType.CNAME]
+
+
+class TestNamesHierarchySetup:
+    def test_paper_fragment_shape(self, world):
+        hierarchy = world.cde.setup_names_hierarchy(q=4)
+        # Parent zone: delegation only.
+        parent_result = world.cde.zone.lookup(hierarchy.names[0], RRType.A)
+        assert parent_result.kind == LookupKind.REFERRAL
+        # Child zone: the leaves answer.
+        child_zone = hierarchy.server.zone_for(hierarchy.names[0])
+        assert child_zone.lookup(hierarchy.names[0], RRType.A).kind == \
+            LookupKind.ANSWER
+
+    def test_subzone_nameserver_reachable(self, world):
+        hierarchy = world.cde.setup_names_hierarchy(q=2)
+        query = DnsMessage.make_query(hierarchy.names[0], RRType.A)
+        response = world.network.query(world.prober_ip, hierarchy.ns_ip,
+                                       query).response
+        assert response.rcode == RCode.NOERROR
+        assert response.answers
+
+    def test_hierarchies_are_distinct_zones(self, world):
+        first = world.cde.setup_names_hierarchy(q=1)
+        second = world.cde.setup_names_hierarchy(q=1)
+        assert first.origin != second.origin
+        assert first.ns_ip != second.ns_ip
+
+
+class TestCounting:
+    def test_count_queries_for(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        probe = world.cde.unique_name("count")
+        since = world.clock.now
+        query = DnsMessage.make_query(probe, RRType.A)
+        world.network.query(world.prober_ip,
+                            hosted.platform.ingress_ips[0], query)
+        assert world.cde.count_queries_for(probe, since=since) == 1
+        assert world.cde.count_queries_for(probe, since=since,
+                                           qtype=RRType.TXT) == 0
+
+    def test_count_under(self, world):
+        hierarchy = world.cde.setup_names_hierarchy(q=2)
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        since = world.clock.now
+        for leaf in hierarchy.names:
+            query = DnsMessage.make_query(leaf, RRType.A)
+            world.network.query(world.prober_ip,
+                                hosted.platform.ingress_ips[0], query)
+        assert world.cde.count_queries_under(hierarchy.origin, since=since) == 1
+
+    def test_egress_sources_scoped_to_base(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=2)
+        query = DnsMessage.make_query(world.cde.unique_name("src"), RRType.A)
+        world.network.query(world.prober_ip,
+                            hosted.platform.ingress_ips[0], query)
+        sources = world.cde.egress_sources()
+        assert sources <= set(hosted.platform.egress_ips)
+
+    def test_marks(self, world):
+        world.cde.mark("t0")
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        query = DnsMessage.make_query(world.cde.unique_name("mk"), RRType.A)
+        world.network.query(world.prober_ip,
+                            hosted.platform.ingress_ips[0], query)
+        assert len(world.cde.query_log.since_mark("t0")) >= 1
+
+    def test_all_query_logs_includes_subzones(self, world):
+        world.cde.setup_names_hierarchy(q=1)
+        logs = world.cde.all_query_logs()
+        assert len(logs) == 2

@@ -1,0 +1,107 @@
+"""Tests for repro.dns.message."""
+
+from repro.dns import (
+    DnsMessage,
+    RCode,
+    RRType,
+    a_record,
+    name,
+    ns_record,
+    soa_record,
+)
+
+
+def make_query(qname="host.example", qtype=RRType.A, **kwargs):
+    return DnsMessage.make_query(name(qname), qtype, msg_id=77, **kwargs)
+
+
+class TestQueryConstruction:
+    def test_query_has_question(self):
+        query = make_query()
+        assert query.qname == name("host.example")
+        assert query.qtype == RRType.A
+        assert not query.is_response
+
+    def test_recursion_desired_default(self):
+        assert make_query().recursion_desired
+
+    def test_recursion_desired_off(self):
+        assert not make_query(recursion_desired=False).recursion_desired
+
+    def test_edns_absent_by_default(self):
+        assert make_query().edns_payload_size is None
+
+    def test_edns_payload(self):
+        assert make_query(edns_payload_size=4096).edns_payload_size == 4096
+
+
+class TestResponseConstruction:
+    def test_response_echoes_id_and_question(self):
+        query = make_query()
+        response = query.make_response()
+        assert response.msg_id == query.msg_id
+        assert response.question == query.question
+        assert response.is_response
+
+    def test_response_rcode(self):
+        assert make_query().make_response(RCode.NXDOMAIN).rcode == RCode.NXDOMAIN
+
+    def test_add_answer_chains(self):
+        response = make_query().make_response()
+        record = a_record(name("host.example"), "1.2.3.4")
+        assert response.add_answer([record]) is response
+        assert response.answers == [record]
+
+
+class TestClassification:
+    def test_referral_detection(self):
+        response = make_query("x.sub.example").make_response()
+        response.add_authority([ns_record(name("sub.example"),
+                                          name("ns.sub.example"))])
+        assert response.is_referral()
+
+    def test_authoritative_ns_answer_is_not_referral(self):
+        response = make_query("sub.example", RRType.NS).make_response()
+        response.authoritative = True
+        response.add_authority([ns_record(name("sub.example"),
+                                          name("ns.sub.example"))])
+        assert not response.is_referral()
+
+    def test_nxdomain(self):
+        response = make_query().make_response(RCode.NXDOMAIN)
+        assert response.is_nxdomain()
+        assert not response.is_nodata()
+
+    def test_nodata(self):
+        response = make_query().make_response()
+        response.add_authority([soa_record(name("example"),
+                                           name("ns.example"),
+                                           name("admin.example"))])
+        assert response.is_nodata()
+        assert not response.is_referral()
+
+    def test_answer_is_not_nodata(self):
+        response = make_query().make_response()
+        response.add_answer([a_record(name("host.example"), "1.2.3.4")])
+        assert not response.is_nodata()
+
+    def test_answers_of_type(self):
+        response = make_query().make_response()
+        response.add_answer([a_record(name("host.example"), "1.2.3.4")])
+        assert len(response.answers_of_type(RRType.A)) == 1
+        assert response.answers_of_type(RRType.TXT) == []
+
+    def test_min_answer_ttl(self):
+        response = make_query().make_response()
+        response.add_answer([a_record(name("h.example"), "1.1.1.1", ttl=300),
+                             a_record(name("h.example"), "2.2.2.2", ttl=30)])
+        assert response.min_answer_ttl() == 30
+
+    def test_min_answer_ttl_empty(self):
+        assert make_query().make_response().min_answer_ttl() == 0
+
+    def test_to_text_mentions_sections(self):
+        response = make_query().make_response()
+        response.add_answer([a_record(name("host.example"), "1.2.3.4")])
+        text = response.to_text()
+        assert "QUESTION" in text and "ANSWER" in text

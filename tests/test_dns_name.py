@@ -1,0 +1,147 @@
+"""Tests for repro.dns.name."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.errors import NameError_
+from repro.dns.name import ROOT, DnsName, name
+
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                max_size=12).filter(lambda s: not s.startswith("-"))
+NAMES = st.lists(LABEL, min_size=0, max_size=6).map(DnsName)
+
+
+class TestConstruction:
+    def test_from_text(self):
+        assert name("www.example.com").labels == ("www", "example", "com")
+
+    def test_trailing_dot_ignored(self):
+        assert name("example.com.") == name("example.com")
+
+    def test_root_spellings(self):
+        assert name(".") is ROOT
+        assert name("") is ROOT
+        assert DnsName.root().is_root()
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(NameError_):
+            name("a..b")
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(["x" * 64])
+
+    def test_label_63_accepted(self):
+        DnsName(["x" * 63])
+
+    def test_name_too_long_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(["x" * 63] * 4)
+
+    def test_dot_inside_label_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(["a.b"])
+
+
+class TestEquality:
+    def test_case_insensitive_eq(self):
+        assert name("WWW.Example.COM") == name("www.example.com")
+
+    def test_case_insensitive_hash(self):
+        assert hash(name("ABC.de")) == hash(name("abc.DE"))
+
+    def test_eq_against_string(self):
+        assert name("example.com") == "Example.Com"
+
+    def test_display_preserves_case(self):
+        assert str(name("WwW.Example.com")) == "WwW.Example.com"
+
+    def test_root_str(self):
+        assert str(ROOT) == "."
+
+    def test_ordering_is_rightmost_first(self):
+        # Canonical DNS order compares by suffix (zone) first.
+        assert name("a.zz") < name("b.zz")
+        assert name("z.aa") < name("a.zz")
+
+
+class TestAlgebra:
+    def test_parent(self):
+        assert name("a.b.c").parent == name("b.c")
+
+    def test_parent_of_root_is_root(self):
+        assert ROOT.parent is ROOT or ROOT.parent == ROOT
+
+    def test_ancestors_walk(self):
+        chain = list(name("a.b.c").ancestors(include_self=True))
+        assert chain == [name("a.b.c"), name("b.c"), name("c"), ROOT]
+
+    def test_ancestors_excluding_self(self):
+        chain = list(name("a.b").ancestors())
+        assert chain == [name("b"), ROOT]
+
+    def test_subdomain_of(self):
+        assert name("x.sub.example").is_subdomain_of(name("example"))
+        assert name("example").is_subdomain_of(name("example"))
+        assert not name("example").is_subdomain_of(name("sub.example"))
+
+    def test_everything_is_under_root(self):
+        assert name("deep.name.example").is_subdomain_of(ROOT)
+
+    def test_strict_subdomain(self):
+        assert not name("example").is_strict_subdomain_of(name("example"))
+        assert name("a.example").is_strict_subdomain_of(name("example"))
+
+    def test_suffix_label_match_is_not_subdomain(self):
+        # notexample vs example must not match on string suffix.
+        assert not name("notexample").is_subdomain_of(name("example"))
+
+    def test_relativize(self):
+        assert name("a.b.example").relativize(name("example")) == ("a", "b")
+
+    def test_relativize_not_under_raises(self):
+        with pytest.raises(NameError_):
+            name("a.other").relativize(name("example"))
+
+    def test_prepend(self):
+        assert name("example").prepend("www") == name("www.example")
+
+    def test_prepend_multiple(self):
+        assert name("e.com").prepend("a", "b") == name("a.b.e.com")
+
+    def test_concatenate(self):
+        assert name("www").concatenate(name("example.com")) == \
+            name("www.example.com")
+
+    def test_split_child_of(self):
+        assert name("a.b.sub.example").split_child_of(name("example")) == \
+            name("sub.example")
+
+    def test_split_child_of_self_raises(self):
+        with pytest.raises(NameError_):
+            name("example").split_child_of(name("example"))
+
+    def test_depth_below(self):
+        assert name("a.b.example").depth_below(name("example")) == 2
+
+
+class TestProperties:
+    @given(NAMES)
+    def test_roundtrip_text(self, dns_name):
+        assert DnsName.from_text(str(dns_name)) == dns_name
+
+    @given(NAMES)
+    def test_self_subdomain(self, dns_name):
+        assert dns_name.is_subdomain_of(dns_name)
+
+    @given(NAMES, LABEL)
+    def test_prepend_is_strict_subdomain(self, dns_name, label):
+        child = dns_name.prepend(label)
+        assert child.is_strict_subdomain_of(dns_name)
+        assert child.parent == dns_name
+
+    @given(NAMES, NAMES)
+    def test_concat_relativize_inverse(self, left, right):
+        joined = left.concatenate(right)
+        assert joined.relativize(right) == left.labels

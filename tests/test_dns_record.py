@@ -1,0 +1,140 @@
+"""Tests for repro.dns.record."""
+
+import pytest
+
+from repro.dns import (
+    RRSet,
+    RRType,
+    ZoneError,
+    a_record,
+    cname_record,
+    group_rrsets,
+    mx_record,
+    name,
+    ns_record,
+    soa_record,
+    spf_record,
+    txt_record,
+)
+from repro.dns.record import MxRdata, SoaRdata, TxtRdata
+
+
+class TestRecordBuilders:
+    def test_a_record(self):
+        record = a_record(name("host.example"), "1.2.3.4", ttl=60)
+        assert record.rtype == RRType.A
+        assert record.ttl == 60
+        assert record.rdata.address == "1.2.3.4"
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ZoneError):
+            a_record(name("x.example"), "1.2.3.4", ttl=-1)
+
+    def test_with_ttl_returns_new_record(self):
+        record = a_record(name("x.example"), "1.2.3.4", ttl=60)
+        aged = record.with_ttl(10)
+        assert aged.ttl == 10
+        assert record.ttl == 60
+        assert aged.rdata is record.rdata
+
+    def test_mx_record_rdata(self):
+        record = mx_record(name("example"), 10, name("mail.example"))
+        assert isinstance(record.rdata, MxRdata)
+        assert record.rdata.preference == 10
+
+    def test_txt_record_multiple_strings(self):
+        record = txt_record(name("example"), "v=spf1", "-all")
+        assert isinstance(record.rdata, TxtRdata)
+        assert record.rdata.strings == ("v=spf1", "-all")
+
+    def test_spf_record_uses_spf_qtype(self):
+        assert spf_record(name("example"), "v=spf1").rtype == RRType.SPF
+
+    def test_soa_minimum(self):
+        record = soa_record(name("example"), name("ns.example"),
+                            name("admin.example"), minimum=42)
+        assert isinstance(record.rdata, SoaRdata)
+        assert record.rdata.minimum == 42
+
+    def test_to_text_contains_fields(self):
+        text = a_record(name("h.example"), "1.2.3.4", ttl=5).to_text()
+        assert "h.example" in text and "1.2.3.4" in text and " A " in text
+
+    def test_key_is_name_type_class(self):
+        record = a_record(name("h.example"), "1.2.3.4")
+        assert record.key[0] == name("h.example")
+        assert record.key[1] == RRType.A
+
+
+class TestRRSet:
+    def test_from_records(self):
+        records = [a_record(name("h.example"), "1.1.1.1"),
+                   a_record(name("h.example"), "2.2.2.2")]
+        rrset = RRSet.from_records(records)
+        assert len(rrset) == 2
+
+    def test_from_zero_records_rejected(self):
+        with pytest.raises(ZoneError):
+            RRSet.from_records([])
+
+    def test_mismatched_record_rejected(self):
+        rrset = RRSet.from_records([a_record(name("a.example"), "1.1.1.1")])
+        with pytest.raises(ZoneError):
+            rrset.add(a_record(name("b.example"), "1.1.1.1"))
+
+    def test_mismatched_type_rejected(self):
+        rrset = RRSet.from_records([a_record(name("a.example"), "1.1.1.1")])
+        with pytest.raises(ZoneError):
+            rrset.add(ns_record(name("a.example"), name("ns.example")))
+
+    def test_duplicate_not_added_twice(self):
+        record = a_record(name("a.example"), "1.1.1.1")
+        rrset = RRSet.from_records([record])
+        rrset.add(record)
+        assert len(rrset) == 1
+
+    def test_ttl_is_minimum_of_members(self):
+        rrset = RRSet.from_records([
+            a_record(name("a.example"), "1.1.1.1", ttl=300),
+            a_record(name("a.example"), "2.2.2.2", ttl=60),
+        ])
+        assert rrset.ttl == 60
+
+    def test_with_ttl_rewrites_all(self):
+        rrset = RRSet.from_records([
+            a_record(name("a.example"), "1.1.1.1", ttl=300),
+            a_record(name("a.example"), "2.2.2.2", ttl=60),
+        ])
+        aged = rrset.with_ttl(30)
+        assert all(record.ttl == 30 for record in aged)
+        assert rrset.ttl == 60  # original untouched
+
+    def test_case_insensitive_grouping(self):
+        rrset = RRSet.from_records([a_record(name("A.Example"), "1.1.1.1")])
+        rrset.add(a_record(name("a.example"), "2.2.2.2"))
+        assert len(rrset) == 2
+
+
+class TestGroupRRsets:
+    def test_groups_by_key(self):
+        records = [
+            a_record(name("a.example"), "1.1.1.1"),
+            cname_record(name("b.example"), name("a.example")),
+            a_record(name("a.example"), "2.2.2.2"),
+        ]
+        rrsets = group_rrsets(records)
+        assert len(rrsets) == 2
+        sizes = sorted(len(rrset) for rrset in rrsets)
+        assert sizes == [1, 2]
+
+    def test_preserves_first_seen_order(self):
+        records = [
+            ns_record(name("example"), name("ns1.example")),
+            a_record(name("ns1.example"), "1.1.1.1"),
+        ]
+        rrsets = group_rrsets(records)
+        assert rrsets[0].rtype == RRType.NS
+        assert rrsets[1].rtype == RRType.A
+
+    def test_empty_input(self):
+        assert group_rrsets([]) == []

@@ -1,0 +1,158 @@
+"""Wire-format round-trip tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns import (
+    DnsMessage,
+    RCode,
+    RRType,
+    WireFormatError,
+    a_record,
+    aaaa_record,
+    cname_record,
+    decode_message,
+    encode_message,
+    message_wire_size,
+    mx_record,
+    name,
+    ns_record,
+    soa_record,
+    txt_record,
+)
+from repro.dns.name import DnsName
+from repro.dns.wire import exceeds_payload
+
+
+def roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+class TestHeaderRoundtrip:
+    def test_query_roundtrip(self):
+        query = DnsMessage.make_query(name("www.example.com"), RRType.A,
+                                      msg_id=1234)
+        decoded = roundtrip(query)
+        assert decoded.msg_id == 1234
+        assert decoded.qname == name("www.example.com")
+        assert decoded.qtype == RRType.A
+        assert not decoded.is_response
+        assert decoded.recursion_desired
+
+    def test_flags_roundtrip(self):
+        query = DnsMessage.make_query(name("x.example"), RRType.TXT)
+        response = query.make_response(RCode.NXDOMAIN)
+        response.authoritative = True
+        response.recursion_available = True
+        decoded = roundtrip(response)
+        assert decoded.is_response
+        assert decoded.authoritative
+        assert decoded.recursion_available
+        assert decoded.rcode == RCode.NXDOMAIN
+
+    def test_truncated_flag(self):
+        response = DnsMessage.make_query(name("x.example"), RRType.A) \
+            .make_response()
+        response.truncated = True
+        assert roundtrip(response).truncated
+
+
+class TestRecordRoundtrip:
+    @pytest.mark.parametrize("record", [
+        a_record(name("a.example"), "192.0.2.7", ttl=300),
+        aaaa_record(name("a.example"), "2001:db8:0:0:0:0:0:1", ttl=60),
+        ns_record(name("example"), name("ns1.example")),
+        cname_record(name("www.example"), name("host.example")),
+        mx_record(name("example"), 10, name("mail.example")),
+        txt_record(name("example"), "v=spf1 -all"),
+        soa_record(name("example"), name("ns.example"), name("root.example")),
+    ])
+    def test_single_record(self, record):
+        query = DnsMessage.make_query(record.name, record.rtype)
+        response = query.make_response()
+        response.add_answer([record])
+        decoded = roundtrip(response)
+        assert decoded.answers == [record]
+
+    def test_multi_section_roundtrip(self):
+        query = DnsMessage.make_query(name("x.sub.example"), RRType.A)
+        response = query.make_response()
+        response.add_authority([ns_record(name("sub.example"),
+                                          name("ns.sub.example"))])
+        response.add_additional([a_record(name("ns.sub.example"), "10.0.0.1")])
+        decoded = roundtrip(response)
+        assert decoded.authority[0].rtype == RRType.NS
+        assert decoded.additional[0].rdata.address == "10.0.0.1"
+
+    def test_compression_shrinks_repeated_names(self):
+        response = DnsMessage.make_query(name("host.example"), RRType.A) \
+            .make_response()
+        long_name = name("a-very-long-label-indeed.example")
+        for i in range(4):
+            response.add_answer([a_record(long_name, f"10.0.0.{i}")])
+        size = message_wire_size(response)
+        # Uncompressed, four copies of the owner would cost 4 * ~34 bytes.
+        uncompressed_estimate = 12 + 18 + 4 * (34 + 14)
+        assert size < uncompressed_estimate
+        assert roundtrip(response).answers == response.answers
+
+    def test_edns_opt_roundtrip(self):
+        query = DnsMessage.make_query(name("x.example"), RRType.A,
+                                      edns_payload_size=4096)
+        assert roundtrip(query).edns_payload_size == 4096
+
+    def test_txt_multiple_strings(self):
+        record = txt_record(name("e.example"), "alpha", "beta")
+        response = DnsMessage.make_query(record.name, RRType.TXT) \
+            .make_response().add_answer([record])
+        assert roundtrip(response).answers[0].rdata.strings == ("alpha", "beta")
+
+
+class TestErrors:
+    def test_truncated_message_rejected(self):
+        data = encode_message(DnsMessage.make_query(name("x.example"), RRType.A))
+        with pytest.raises(WireFormatError):
+            decode_message(data[:8])
+
+    def test_bad_ipv4_rejected(self):
+        response = DnsMessage.make_query(name("x.example"), RRType.A) \
+            .make_response()
+        response.add_answer([a_record(name("x.example"), "1.2.3.4")])
+        # Corrupt the rdata length by truncating the payload.
+        data = encode_message(response)
+        with pytest.raises(WireFormatError):
+            decode_message(data[:-2])
+
+    def test_exceeds_payload_classic_limit(self):
+        response = DnsMessage.make_query(name("x.example"), RRType.TXT) \
+            .make_response()
+        response.add_answer([txt_record(name("x.example"), "x" * 250)
+                             for _ in range(3)])
+        assert exceeds_payload(response)
+
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                max_size=10).filter(lambda s: not s.startswith("-"))
+WIRE_NAME = st.lists(LABEL, min_size=1, max_size=4).map(DnsName)
+
+
+class TestProperties:
+    @settings(max_examples=60)
+    @given(qname=WIRE_NAME, msg_id=st.integers(0, 65535),
+           qtype=st.sampled_from([RRType.A, RRType.NS, RRType.TXT, RRType.MX]))
+    def test_query_roundtrip_property(self, qname, msg_id, qtype):
+        query = DnsMessage.make_query(qname, qtype, msg_id=msg_id)
+        decoded = roundtrip(query)
+        assert decoded.qname == qname
+        assert decoded.msg_id == msg_id
+        assert decoded.qtype == qtype
+
+    @settings(max_examples=60)
+    @given(owners=st.lists(WIRE_NAME, min_size=1, max_size=5),
+           ttl=st.integers(0, 2 ** 31 - 1))
+    def test_answer_roundtrip_property(self, owners, ttl):
+        response = DnsMessage.make_query(owners[0], RRType.A).make_response()
+        for index, owner in enumerate(owners):
+            response.add_answer([a_record(owner, f"10.1.{index % 250}.9",
+                                          ttl=ttl)])
+        assert roundtrip(response).answers == response.answers

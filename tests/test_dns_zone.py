@@ -1,0 +1,219 @@
+"""Tests for zone data and lookup semantics."""
+
+import pytest
+
+from repro.dns import (
+    LookupKind,
+    RRType,
+    Zone,
+    ZoneError,
+    ZoneParseError,
+    a_record,
+    cname_record,
+    name,
+    ns_record,
+    parse_zone_text,
+    soa_record,
+    txt_record,
+    zone_to_text,
+)
+
+
+@pytest.fixture
+def zone():
+    z = Zone("cache.example")
+    z.add_record(soa_record(name("cache.example"), name("ns.cache.example"),
+                            name("admin.cache.example"), minimum=60))
+    z.add_record(ns_record(name("cache.example"), name("ns.cache.example")))
+    z.add_record(a_record(name("ns.cache.example"), "203.0.113.53"))
+    z.add_record(a_record(name("host.cache.example"), "203.0.113.100"))
+    return z
+
+
+class TestMutation:
+    def test_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_record(a_record(name("other.example"), "1.1.1.1"))
+
+    def test_cname_conflicts_with_data(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_record(cname_record(name("host.cache.example"),
+                                         name("x.cache.example")))
+
+    def test_data_conflicts_with_cname(self, zone):
+        zone.add_record(cname_record(name("alias.cache.example"),
+                                     name("host.cache.example")))
+        with pytest.raises(ZoneError):
+            zone.add_record(a_record(name("alias.cache.example"), "1.1.1.1"))
+
+    def test_remove_rrset(self, zone):
+        zone.remove_rrset(name("host.cache.example"), RRType.A)
+        result = zone.lookup(name("host.cache.example"), RRType.A)
+        assert result.kind == LookupKind.NXDOMAIN
+
+
+class TestLookup:
+    def test_answer(self, zone):
+        result = zone.lookup(name("host.cache.example"), RRType.A)
+        assert result.kind == LookupKind.ANSWER
+        assert result.records[0].rdata.address == "203.0.113.100"
+
+    def test_nodata(self, zone):
+        result = zone.lookup(name("host.cache.example"), RRType.TXT)
+        assert result.kind == LookupKind.NODATA
+        assert result.soa is not None
+
+    def test_nxdomain(self, zone):
+        result = zone.lookup(name("missing.cache.example"), RRType.A)
+        assert result.kind == LookupKind.NXDOMAIN
+
+    def test_empty_non_terminal_is_nodata(self, zone):
+        zone.add_record(a_record(name("a.deep.cache.example"), "1.1.1.1"))
+        result = zone.lookup(name("deep.cache.example"), RRType.A)
+        assert result.kind == LookupKind.NODATA
+
+    def test_cname(self, zone):
+        zone.add_record(cname_record(name("alias.cache.example"),
+                                     name("host.cache.example")))
+        result = zone.lookup(name("alias.cache.example"), RRType.A)
+        assert result.kind == LookupKind.CNAME
+
+    def test_cname_qtype_returns_answer(self, zone):
+        zone.add_record(cname_record(name("alias.cache.example"),
+                                     name("host.cache.example")))
+        result = zone.lookup(name("alias.cache.example"), RRType.CNAME)
+        assert result.kind == LookupKind.ANSWER
+
+    def test_out_of_zone_lookup_raises(self, zone):
+        with pytest.raises(ZoneError):
+            zone.lookup(name("www.other.example"), RRType.A)
+
+    def test_apex_ns_is_answer_not_referral(self, zone):
+        result = zone.lookup(name("cache.example"), RRType.NS)
+        assert result.kind == LookupKind.ANSWER
+
+
+class TestDelegation:
+    @pytest.fixture
+    def delegated(self, zone):
+        zone.add_record(ns_record(name("sub.cache.example"),
+                                  name("ns.sub.cache.example")))
+        zone.add_record(a_record(name("ns.sub.cache.example"), "203.0.113.99"))
+        return zone
+
+    def test_referral_below_cut(self, delegated):
+        result = delegated.lookup(name("x.sub.cache.example"), RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+        assert any(record.rtype == RRType.NS for record in result.authority)
+
+    def test_referral_includes_glue(self, delegated):
+        result = delegated.lookup(name("x.sub.cache.example"), RRType.A)
+        glue = [record for record in result.additional
+                if record.rtype == RRType.A]
+        assert glue and glue[0].rdata.address == "203.0.113.99"
+
+    def test_referral_at_cut_itself(self, delegated):
+        result = delegated.lookup(name("sub.cache.example"), RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+
+    def test_deep_name_below_cut(self, delegated):
+        result = delegated.lookup(name("a.b.c.sub.cache.example"), RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+
+    def test_delegation_point_for(self, delegated):
+        assert delegated.delegation_point_for(
+            name("deep.sub.cache.example")) == name("sub.cache.example")
+        assert delegated.delegation_point_for(
+            name("host.cache.example")) is None
+
+
+class TestWildcard:
+    @pytest.fixture
+    def wild(self, zone):
+        zone.add_record(a_record(name("*.cache.example"), "198.51.100.1"))
+        return zone
+
+    def test_wildcard_synthesis(self, wild):
+        result = wild.lookup(name("anything.cache.example"), RRType.A)
+        assert result.kind == LookupKind.ANSWER
+        assert result.records[0].name == name("anything.cache.example")
+        assert result.records[0].rdata.address == "198.51.100.1"
+
+    def test_wildcard_multi_label(self, wild):
+        result = wild.lookup(name("a.b.cache.example"), RRType.A)
+        assert result.kind == LookupKind.ANSWER
+
+    def test_existing_name_beats_wildcard(self, wild):
+        result = wild.lookup(name("host.cache.example"), RRType.A)
+        assert result.records[0].rdata.address == "203.0.113.100"
+
+    def test_existing_name_blocks_wildcard_below(self, wild):
+        # host exists, so below-host names are NXDOMAIN, not wildcard.
+        result = wild.lookup(name("below.host.cache.example"), RRType.A)
+        assert result.kind == LookupKind.NXDOMAIN
+
+    def test_wildcard_nodata_for_other_type(self, wild):
+        result = wild.lookup(name("anything.cache.example"), RRType.TXT)
+        assert result.kind == LookupKind.NODATA
+
+
+class TestZoneParsing:
+    def test_parse_paper_cname_fragment(self):
+        zone = parse_zone_text(
+            """
+            $ORIGIN cache.example
+            x-1 IN CNAME name.cache.example.
+            x-2 IN CNAME name.cache.example.
+            name IN A 203.0.113.100
+            """
+        )
+        result = zone.lookup(name("x-1.cache.example"), RRType.A)
+        assert result.kind == LookupKind.CNAME
+
+    def test_parse_paper_hierarchy_fragment(self):
+        zone = parse_zone_text(
+            """
+            $ORIGIN cache.example
+            sub IN NS ns.sub.cache.example.
+            ns.sub IN A 203.0.113.99
+            """
+        )
+        result = zone.lookup(name("x-1.sub.cache.example"), RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+
+    def test_parse_with_ttl_and_comment(self):
+        zone = parse_zone_text(
+            "$ORIGIN e.example\nhost 120 IN A 1.2.3.4 ; comment\n")
+        rrset = zone.get_rrset(name("host.e.example"), RRType.A)
+        assert rrset.ttl == 120
+
+    def test_parse_at_is_apex(self):
+        zone = parse_zone_text("$ORIGIN e.example\n@ IN TXT \"hello\"\n")
+        assert zone.get_rrset(name("e.example"), RRType.TXT) is not None
+
+    def test_parse_absolute_owner(self):
+        zone = parse_zone_text(
+            "$ORIGIN e.example\ndeep.host.e.example. IN A 1.1.1.1\n")
+        assert zone.get_rrset(name("deep.host.e.example"), RRType.A)
+
+    def test_parse_default_ttl_directive(self):
+        zone = parse_zone_text("$ORIGIN e.example\n$TTL 99\nh IN A 1.1.1.1\n")
+        assert zone.get_rrset(name("h.e.example"), RRType.A).ttl == 99
+
+    def test_parse_missing_origin_raises(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("host IN A 1.2.3.4\n")
+
+    def test_parse_unknown_type_raises(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN e.example\nh IN BOGUS data\n")
+
+    def test_roundtrip_to_text(self, zone):
+        text = zone_to_text(zone)
+        reparsed = parse_zone_text(text)
+        assert reparsed.lookup(name("host.cache.example"), RRType.A).kind == \
+            LookupKind.ANSWER
+
+    def test_explicit_origin_argument(self):
+        zone = parse_zone_text("h IN A 9.9.9.9\n", origin="e.example")
+        assert zone.get_rrset(name("h.e.example"), RRType.A)

@@ -1,0 +1,116 @@
+"""Tests for cache-affine egress selection and the egress↔cache mapping."""
+
+import random
+
+import pytest
+
+from repro.core import map_egress_to_caches
+from repro.resolver import (
+    PlatformConfig,
+    ResolutionPlatform,
+    UniformRandomSelector,
+)
+from repro.resolver.selection import CacheAffineEgressSelector
+
+
+def affine_platform(world, n_caches, n_egress, n_ingress=1):
+    pool = world.platform_allocator.allocate_pool(n_ingress + n_egress)
+    config = PlatformConfig(
+        name=f"affine-{n_caches}-{n_egress}",
+        ingress_ips=pool.allocate_block(n_ingress),
+        egress_ips=pool.allocate_block(n_egress),
+        n_caches=n_caches,
+        cache_selector=UniformRandomSelector(random.Random(5)),
+        egress_selector=CacheAffineEgressSelector(n_caches,
+                                                  random.Random(6)),
+    )
+    platform = ResolutionPlatform(config, world.network,
+                                  world.hierarchy.root_hints,
+                                  rng=random.Random(7))
+    platform.attach()
+    return platform
+
+
+class TestCacheAffineEgressSelector:
+    def test_partition_disjoint_and_complete(self):
+        selector = CacheAffineEgressSelector(n_caches=3)
+        owned = [set(selector.owned_indices(i, 9)) for i in range(3)]
+        assert set().union(*owned) == set(range(9))
+        assert sum(len(s) for s in owned) == 9  # disjoint
+
+    def test_selection_stays_in_slice(self):
+        selector = CacheAffineEgressSelector(n_caches=2,
+                                             rng=random.Random(0))
+        for _ in range(50):
+            index = selector.select_for_cache(1, "x", 8)
+            assert index % 2 == 1
+
+    def test_small_pool_falls_back_to_sharing(self):
+        selector = CacheAffineEgressSelector(n_caches=4)
+        assert selector.owned_indices(3, 2) == [0, 1]
+
+    def test_needs_cache(self):
+        with pytest.raises(ValueError):
+            CacheAffineEgressSelector(0)
+
+
+class TestFreshChain:
+    def test_chain_structure(self, world):
+        chain = world.cde.setup_fresh_chain(links=3)
+        assert len(chain) == 4
+        from repro.dns import LookupKind, RRType
+
+        for index in range(3):
+            result = world.cde.zone.lookup(chain[index], RRType.A)
+            assert result.kind == LookupKind.CNAME
+        assert world.cde.zone.lookup(chain[-1], RRType.A).kind == \
+            LookupKind.ANSWER
+
+    def test_single_resolution_queries_every_link(self, world):
+        platform = affine_platform(world, n_caches=1, n_egress=1)
+        chain = world.cde.setup_fresh_chain(links=3)
+        since = world.clock.now
+        world.prober.probe(platform.ingress_ips[0], chain[0])
+        for link in chain:
+            assert world.cde.count_queries_for(link, since=since) == 1
+
+    def test_invalid_links(self, world):
+        with pytest.raises(ValueError):
+            world.cde.setup_fresh_chain(links=0)
+
+
+class TestEgressToCacheMapping:
+    @pytest.mark.parametrize("n_caches,n_egress", [(2, 6), (3, 9)])
+    def test_affine_platform_splits_per_cache(self, world, n_caches,
+                                              n_egress):
+        platform = affine_platform(world, n_caches, n_egress)
+        result = map_egress_to_caches(world.cde, world.prober,
+                                      platform.ingress_ips[0],
+                                      probes=20 * n_caches, links=4)
+        assert result.n_clusters == n_caches
+        covered = set().union(*result.clusters)
+        assert covered == set(platform.egress_ips)
+
+    def test_shared_pool_collapses_to_one_cluster(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=6)
+        result = map_egress_to_caches(world.cde, world.prober,
+                                      hosted.platform.ingress_ips[0],
+                                      probes=40, links=4)
+        assert result.n_clusters == 1
+        assert result.clusters[0] == frozenset(hosted.platform.egress_ips)
+
+    def test_cluster_of(self, world):
+        platform = affine_platform(world, 2, 4)
+        result = map_egress_to_caches(world.cde, world.prober,
+                                      platform.ingress_ips[0],
+                                      probes=40, links=4)
+        some_ip = sorted(result.clusters[0])[0]
+        assert result.cluster_of(some_ip) == result.clusters[0]
+        assert result.cluster_of("203.0.113.254") is None
+
+    def test_input_validation(self, world, single_cache_platform):
+        ingress = single_cache_platform.platform.ingress_ips[0]
+        with pytest.raises(ValueError):
+            map_egress_to_caches(world.cde, world.prober, ingress, probes=0)
+        with pytest.raises(ValueError):
+            map_egress_to_caches(world.cde, world.prober, ingress, links=1)

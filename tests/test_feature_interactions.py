@@ -1,0 +1,109 @@
+"""Cross-feature interaction tests: the platform behaviours and the
+measurement techniques composed in realistic combinations."""
+
+import pytest
+
+from repro.core import (
+    CarpetProber,
+    CdeStudy,
+    enumerate_direct,
+    queries_for_confidence,
+)
+
+
+class TestCarpetVsFrontendDedup:
+    def test_carpet_replicas_collapse_at_the_frontend(self, world):
+        """Carpet bombing and frontend collapsing fight each other: K
+        rapid replicas of one name merge into a single cache probe, so the
+        carpet alone cannot fix a dedup'ing platform — pacing can."""
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        hosted.platform.config.frontend_dedup_window = 2.0
+        ingress = hosted.platform.ingress_ips[0]
+        carpet = CarpetProber(world.prober, 3)
+        budget = queries_for_confidence(3, 0.999)
+        rapid = enumerate_direct(world.cde, carpet, ingress, q=budget)
+        assert rapid.arrivals == 1
+        paced = enumerate_direct(world.cde, carpet, ingress, q=budget,
+                                 pace=2.5)
+        assert paced.arrivals == 3
+
+    def test_dedup_collapse_counted_by_platform(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        hosted.platform.config.frontend_dedup_window = 5.0
+        carpet = CarpetProber(world.prober, 4)
+        carpet.probe(hosted.platform.ingress_ips[0],
+                     world.cde.unique_name("cvd"))
+        assert hosted.platform.stats.frontend_collapsed == 3
+
+
+class TestStudyOverMultiPool:
+    def test_full_study_discovers_pool_structure(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(2, 2, 1), (2, 3, 1)])
+        study = CdeStudy(world.cde, world.prober)
+        report = study.run(platform.ingress_ips)
+        # The headline cache count describes the *primary* ingress's pool.
+        assert report.cache_count == 2
+        # The mapping phase reveals there are two distinct pools.
+        assert report.n_ingress_clusters == 2
+        measured = {frozenset(cluster.member_ips)
+                    for cluster in report.ingress_mapping.clusters}
+        assert measured == set(platform.true_partition().values())
+
+    def test_per_cluster_study_sizes_both_pools(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(1, 1, 1), (1, 4, 1)])
+        counts = {}
+        for pool_name, ips in platform.true_partition().items():
+            report = CdeStudy(world.cde, world.prober).run(
+                sorted(ips), map_ingress=False, discover_egress=False)
+            counts[pool_name] = report.cache_count
+        assert counts == {"pool-0": 1, "pool-1": 4}
+
+
+class TestPrefetchVsTtlCheck:
+    def test_aggressive_prefetch_reads_as_early_expiry(self, world):
+        """A platform that refreshes hot records on every hit produces
+        authoritative-side fetches *inside* the record TTL — from the
+        outside that is indistinguishable from TTL disrespect, and the
+        differentiator says so.  A caveat for interpreting §II-C.1
+        verdicts on prefetching resolvers."""
+        from repro.core import TtlVerdict, check_ttl_consistency
+
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hosted.platform.config.prefetch_horizon = 10_000.0  # always refresh
+        report = check_ttl_consistency(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       record_ttl=600)
+        assert report.verdict == TtlVerdict.EARLY_EXPIRY
+        assert report.arrivals_within_ttl > 0
+
+    def test_sane_prefetch_horizon_stays_consistent(self, world):
+        """A realistic horizon (well below the record TTL) never triggers
+        during the check window: verdict unchanged."""
+        from repro.core import TtlVerdict, check_ttl_consistency
+
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hosted.platform.config.prefetch_horizon = 30.0
+        report = check_ttl_consistency(world.cde, world.prober,
+                                       hosted.platform.ingress_ips[0],
+                                       record_ttl=600)
+        assert report.verdict == TtlVerdict.CONSISTENT
+
+
+class TestWireFidelityEverything:
+    def test_kitchen_sink_study_over_wire(self):
+        """All optional phases, multi-cache platform, real wire format."""
+        from repro.core import StudyParameters
+        from repro.study import SimulatedInternet, WorldConfig
+
+        world = SimulatedInternet(WorldConfig(seed=23, lossy_platforms=False,
+                                              wire_fidelity=True))
+        hosted = world.add_platform(n_ingress=2, n_caches=2, n_egress=2)
+        report = world.study(hosted, parameters=StudyParameters(
+            infer_selector=True, fingerprint_software=True,
+            timing_crosscheck=True))
+        assert report.cache_count == 2
+        assert report.timing.cache_count == 2
+        assert report.selector_inference is not None
+        assert report.fingerprints

@@ -1,0 +1,76 @@
+"""Full-fingerprint tests: negative-TTL bracketing disambiguates every
+software profile (paper §II-C, 'Measuring software')."""
+
+import random
+
+import pytest
+
+from repro.cache.software import PROFILES, profile_by_name
+from repro.core import observe_negative_ttl, observe_ttl_clamps
+from repro.resolver import PlatformConfig, ResolutionPlatform
+
+
+def single_cache_platform_running(world, software):
+    pool = world.platform_allocator.allocate_pool(2)
+    config = PlatformConfig(
+        name=f"fp-{software}", ingress_ips=[pool.allocate()],
+        egress_ips=[pool.allocate()], n_caches=1,
+        software_profiles=[profile_by_name(software)],
+    )
+    platform = ResolutionPlatform(config, world.network,
+                                  world.hierarchy.root_hints,
+                                  rng=random.Random(3))
+    platform.attach()
+    return platform
+
+
+def full_fingerprint(world, ingress_ip):
+    observation = observe_ttl_clamps(world.cde, world.prober, ingress_ip)
+    observation.negative_ttl_bracket = observe_negative_ttl(
+        world.cde, world.prober, ingress_ip)
+    return [name_ for name_, profile in PROFILES.items()
+            if observation.matches(profile)]
+
+
+@pytest.mark.parametrize("software", sorted(PROFILES))
+def test_every_profile_uniquely_identified(world, software):
+    platform = single_cache_platform_running(world, software)
+    candidates = full_fingerprint(world, platform.config.ingress_ips[0])
+    assert candidates == [software]
+
+
+def test_negative_bracket_values(world):
+    """The bracket lands exactly around each profile's cap."""
+    expectations = {
+        "appliance-like": (0, 600),
+        "windows-dns-like": (600, 900),
+        "unbound-like": (900, 3600),
+        "bind9-like": (3600, 10_800),
+    }
+    for software, expected in expectations.items():
+        platform = single_cache_platform_running(world, software)
+        bracket = observe_negative_ttl(world.cde, world.prober,
+                                       platform.config.ingress_ips[0])
+        assert bracket == expected, software
+
+
+def test_heterogeneous_pool_reveals_mix(world):
+    """A pool mixing two implementations yields both fingerprints across
+    repeated samples — software inventory per §II-C."""
+    from repro.core import fingerprint_platform
+
+    pool = world.platform_allocator.allocate_pool(2)
+    config = PlatformConfig(
+        name="fp-mixed", ingress_ips=[pool.allocate()],
+        egress_ips=[pool.allocate()], n_caches=2,
+        software_profiles=[profile_by_name("bind9-like"),
+                           profile_by_name("unbound-like")],
+    )
+    platform = ResolutionPlatform(config, world.network,
+                                  world.hierarchy.root_hints,
+                                  rng=random.Random(9))
+    platform.attach()
+    results = fingerprint_platform(world.cde, world.prober,
+                                   config.ingress_ips[0], samples=12)
+    max_ttls = {result.observation.observed_max_ttl for result in results}
+    assert {604_800, 86_400} <= max_ttls  # both clamps observed

@@ -1,0 +1,153 @@
+"""End-to-end integration tests: the paper's whole pipeline in one world,
+plus cross-technique consistency and property-based invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    enumerate_direct,
+    enumerate_by_timing,
+    enumerate_indirect_cname,
+    enumerate_indirect_hierarchy,
+    queries_for_confidence,
+)
+from repro.study import (
+    SimulatedInternet,
+    WorldConfig,
+    build_world,
+    generate_population,
+)
+
+
+class TestCrossTechniqueConsistency:
+    """All four counting techniques must agree on the same platform."""
+
+    @pytest.mark.parametrize("n_caches", [1, 2, 5])
+    def test_four_techniques_agree(self, n_caches):
+        world = build_world(seed=31, lossy_platforms=False)
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=2)
+        ingress = hosted.platform.ingress_ips[0]
+        budget = queries_for_confidence(n_caches, 0.999)
+
+        direct = enumerate_direct(world.cde, world.prober, ingress, q=budget)
+        timing = enumerate_by_timing(world.cde, world.prober, ingress,
+                                     probes=budget)
+        browser = world.make_browser_prober(hosted)
+        cname = enumerate_indirect_cname(world.cde, browser, q=budget)
+        browser2 = world.make_browser_prober(hosted)
+        hierarchy = enumerate_indirect_hierarchy(world.cde, browser2,
+                                                 q=budget)
+
+        assert direct.arrivals == n_caches
+        assert timing.miss_latency_count == n_caches
+        assert cname.arrivals == n_caches
+        assert hierarchy.arrivals == n_caches
+
+
+class TestFullPaperPipeline:
+    def test_three_population_study(self):
+        """Generate all three populations, measure each with its own access
+        channel, and confirm the headline orderings from §V-A."""
+        from repro.study import MeasurementBudget, measure_population, median
+
+        world = build_world(seed=33, lossy_platforms=False)
+        budget = MeasurementBudget(confidence=0.95,
+                                   max_enumeration_queries=200,
+                                   min_egress_probes=16,
+                                   max_egress_probes=80)
+        results = {}
+        for population in ("open-resolvers", "email-servers", "ad-network"):
+            specs = generate_population(population, 14, seed=33,
+                                        max_ingress=6, max_caches=5,
+                                        max_egress=25)
+            results[population] = measure_population(world, specs, budget)
+
+        med_egress = {population: median([row.measured_egress
+                                          for row in rows])
+                      for population, rows in results.items()}
+        # Headline ordering: enterprises have the most egress IPs, open
+        # resolvers the fewest (Fig. 3).
+        assert med_egress["email-servers"] >= med_egress["ad-network"]
+        assert med_egress["ad-network"] >= med_egress["open-resolvers"]
+
+    def test_deterministic_reproduction(self):
+        """Same seed, same measured results — everything flows from RNG."""
+
+        def run():
+            world = build_world(seed=44, lossy_platforms=False)
+            hosted = world.add_platform(n_ingress=2, n_caches=3, n_egress=2)
+            report = world.study(hosted)
+            return (report.cache_count, report.n_egress_ips,
+                    report.queries_sent, world.clock.now)
+
+        assert run() == run()
+
+    def test_different_seeds_different_timings(self):
+        def run(seed):
+            world = build_world(seed=seed, lossy_platforms=False)
+            hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+            world.study(hosted)
+            return world.clock.now
+
+        assert run(1) != run(2)
+
+    def test_many_platforms_share_one_world(self):
+        world = build_world(seed=55, lossy_platforms=False)
+        reports = []
+        for n_caches in (1, 2, 3):
+            hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                        n_egress=1)
+            reports.append(world.study(hosted))
+        assert [report.cache_count for report in reports] == [1, 2, 3]
+
+
+class TestPropertyBasedInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(n_caches=st.integers(1, 6), n_egress=st.integers(1, 4),
+           seed=st.integers(0, 3))
+    def test_direct_enumeration_exact_under_uniform_selection(
+            self, n_caches, n_egress, seed):
+        """For any platform shape with uniform selection and no loss, the
+        direct technique with the coupon budget counts exactly."""
+        world = SimulatedInternet(WorldConfig(seed=seed,
+                                              lossy_platforms=False))
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=n_egress)
+        budget = queries_for_confidence(n_caches, 0.9999)
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=budget)
+        assert result.arrivals == n_caches
+
+    @settings(max_examples=8, deadline=None)
+    @given(n_caches=st.integers(1, 5), seed=st.integers(0, 3))
+    def test_arrivals_monotone_in_queries(self, n_caches, seed):
+        """More probes of the same name can only reveal more caches."""
+        world = SimulatedInternet(WorldConfig(seed=seed,
+                                              lossy_platforms=False))
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("mono")
+        counts = []
+        since = world.clock.now
+        for _ in range(3):
+            for _ in range(4):
+                world.prober.probe(ingress, probe)
+            counts.append(world.cde.count_queries_for(probe, since=since))
+        assert counts == sorted(counts)
+        assert counts[-1] <= n_caches
+
+    @settings(max_examples=6, deadline=None)
+    @given(n_egress=st.integers(1, 5), seed=st.integers(0, 2))
+    def test_egress_census_is_subset_of_truth(self, n_egress, seed):
+        from repro.core import discover_egress_ips
+
+        world = SimulatedInternet(WorldConfig(seed=seed,
+                                              lossy_platforms=False))
+        hosted = world.add_platform(n_ingress=1, n_caches=1,
+                                    n_egress=n_egress)
+        result = discover_egress_ips(world.cde, world.prober,
+                                     hosted.platform.ingress_ips[0],
+                                     probes=8)
+        assert result.egress_ips <= set(hosted.platform.egress_ips)

@@ -1,0 +1,143 @@
+"""Tests for misbehaving resolvers and integrity checking (dataset
+hygiene), plus wire-decoder fuzzing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    IntegrityIssue,
+    check_resolver_integrity,
+    filter_clean_resolvers,
+)
+from repro.dns import DnsError, decode_message
+from repro.resolver import Misbehavior, MisbehavingResolver
+
+
+def wrap_platform(world, hosted, misbehavior, listen_ip="10.220.0.1"):
+    wrapper = MisbehavingResolver(
+        listen_ip=listen_ip,
+        upstream_ip=hosted.platform.ingress_ips[0],
+        network=world.network,
+        misbehavior=misbehavior,
+    )
+    wrapper.attach()
+    return wrapper
+
+
+class TestMisbehavingResolver:
+    def test_nxdomain_hijack(self, world, single_cache_platform):
+        wrapper = wrap_platform(world, single_cache_platform,
+                                Misbehavior(hijack_nxdomain_to="198.51.100.66"))
+        missing = world.cde.ns_name.prepend("hijackme")
+        response = world.prober.query(wrapper.listen_ip, missing).response
+        from repro.dns import RCode
+
+        assert response.rcode == RCode.NOERROR  # lie
+        assert response.answers[0].rdata.address == "198.51.100.66"
+        assert wrapper.tampered_responses == 1
+
+    def test_answer_substitution(self, world, single_cache_platform):
+        target = world.cde.unique_name("victim")
+        world.cde.add_a_record(target)
+        wrapper = wrap_platform(
+            world, single_cache_platform,
+            Misbehavior(substitute={str(target): "203.0.113.250"}),
+            listen_ip="10.220.0.2")
+        response = world.prober.query(wrapper.listen_ip, target).response
+        assert response.answers[0].rdata.address == "203.0.113.250"
+
+    def test_ttl_rewrite(self, world, single_cache_platform):
+        wrapper = wrap_platform(world, single_cache_platform,
+                                Misbehavior(rewrite_ttl_to=9999),
+                                listen_ip="10.220.0.3")
+        probe = world.cde.unique_name("ttlr")
+        response = world.prober.query(wrapper.listen_ip, probe).response
+        assert all(record.ttl == 9999 for record in response.answers)
+
+    def test_honest_wrapper_passes_through(self, world,
+                                           single_cache_platform):
+        wrapper = wrap_platform(world, single_cache_platform, Misbehavior(),
+                                listen_ip="10.220.0.4")
+        probe = world.cde.unique_name("honest")
+        response = world.prober.query(wrapper.listen_ip, probe).response
+        assert response.answers[0].rdata.address == world.cde.answer_ip
+        assert wrapper.tampered_responses == 0
+
+
+class TestIntegrityChecks:
+    def test_clean_platform_passes(self, world, single_cache_platform):
+        report = check_resolver_integrity(
+            world.cde, world.prober,
+            single_cache_platform.platform.ingress_ips[0])
+        assert report.clean
+
+    def test_hijacker_flagged(self, world, single_cache_platform):
+        wrapper = wrap_platform(world, single_cache_platform,
+                                Misbehavior(hijack_nxdomain_to="198.51.100.66"),
+                                listen_ip="10.221.0.1")
+        report = check_resolver_integrity(world.cde, world.prober,
+                                          wrapper.listen_ip)
+        assert IntegrityIssue.NXDOMAIN_HIJACK in report.issues
+        assert report.details
+
+    def test_substituter_flagged(self, world, single_cache_platform):
+        # Substitute *everything in our zone* via the wildcard answer name.
+        wrapper = wrap_platform(world, single_cache_platform, Misbehavior(),
+                                listen_ip="10.221.0.2")
+
+        # Substitution keyed on exact names; integrity uses a fresh name,
+        # so patch the wrapper to substitute any integrity probe.
+        original = wrapper._substitution_for
+        wrapper._substitution_for = (
+            lambda qname: "203.0.113.250"
+            if str(qname).startswith("integrity") else original(qname))
+        report = check_resolver_integrity(world.cde, world.prober,
+                                          wrapper.listen_ip)
+        assert IntegrityIssue.ANSWER_SUBSTITUTION in report.issues
+
+    def test_ttl_rewriter_flagged(self, world, single_cache_platform):
+        wrapper = wrap_platform(world, single_cache_platform,
+                                Misbehavior(rewrite_ttl_to=100_000),
+                                listen_ip="10.221.0.3")
+        report = check_resolver_integrity(world.cde, world.prober,
+                                          wrapper.listen_ip)
+        assert IntegrityIssue.TTL_REWRITE_UP in report.issues
+
+    def test_unreachable_flagged(self, world):
+        from repro.study import SinkEndpoint
+
+        dead = "10.221.0.9"
+        world.network.register(dead, SinkEndpoint())
+        report = check_resolver_integrity(world.cde, world.prober, dead)
+        assert IntegrityIssue.UNREACHABLE in report.issues
+
+    def test_filter_clean_resolvers(self, world):
+        clean_platform = world.add_platform(n_ingress=1, n_caches=1,
+                                            n_egress=1)
+        dirty_upstream = world.add_platform(n_ingress=1, n_caches=1,
+                                            n_egress=1)
+        wrapper = wrap_platform(world, dirty_upstream,
+                                Misbehavior(hijack_nxdomain_to="198.51.100.66"),
+                                listen_ip="10.222.0.1")
+        clean, flagged = filter_clean_resolvers(
+            world.cde, world.prober,
+            [clean_platform.platform.ingress_ips[0], wrapper.listen_ip])
+        assert clean == [clean_platform.platform.ingress_ips[0]]
+        assert len(flagged) == 1
+        assert flagged[0].ingress_ip == wrapper.listen_ip
+
+
+class TestWireFuzz:
+    @settings(max_examples=150)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_decoder_never_crashes_unexpectedly(self, blob):
+        """Arbitrary bytes either decode or raise a DnsError subclass —
+        never IndexError/UnicodeDecodeError/etc."""
+        try:
+            decode_message(blob)
+        except DnsError:
+            pass
+        except (UnicodeDecodeError, ValueError) as error:
+            # Label charset / enum values outside our model are acceptable
+            # only if surfaced as WireFormatError; anything else is a bug.
+            pytest.fail(f"unexpected {type(error).__name__}: {error}")

@@ -1,0 +1,159 @@
+"""Edge cases of the iterative resolution engine: glueless delegations,
+CNAME loops, referral loops, dead authorities."""
+
+import pytest
+
+from repro.dns import (
+    DnsMessage,
+    RCode,
+    RRType,
+    a_record,
+    cname_record,
+    name,
+    ns_record,
+    soa_record,
+)
+from repro.dns.zone import Zone
+from repro.server import AuthoritativeServer
+
+
+def attach_server(world, server_id, zone, ip):
+    server = AuthoritativeServer(server_id)
+    server.add_zone(zone)
+    world.network.register(ip, server)
+    return server
+
+
+def ask(world, hosted, qname, qtype=RRType.A):
+    query = DnsMessage.make_query(name(qname), qtype)
+    return world.network.query(world.prober_ip,
+                               hosted.platform.ingress_ips[0], query).response
+
+
+class TestGluelessDelegation:
+    def test_engine_resolves_out_of_zone_ns(self, world):
+        """sub.glueless.example is served by a nameserver named *under the
+        CDE domain* — the parent cannot provide glue, so the engine must
+        resolve the NS host's address itself before descending."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+
+        # Host the nameserver's A record where the engine can find it.
+        ns_host = world.cde.unique_name("glueless-ns")
+        world.cde.add_a_record(ns_host, "203.0.113.77")
+
+        parent_zone = Zone("glueless.example")
+        parent_zone.add_record(soa_record(name("glueless.example"),
+                                          name("ns.glueless.example"),
+                                          name("admin.glueless.example")))
+        parent_zone.add_record(ns_record(name("sub.glueless.example"),
+                                         ns_host))  # no glue possible
+        attach_server(world, "glueless-parent", parent_zone, "203.0.113.76")
+        world.hierarchy.delegate("glueless.example",
+                                 "ns.glueless.example", "203.0.113.76")
+        parent_zone.add_record(a_record(name("ns.glueless.example"),
+                                        "203.0.113.76"))
+
+        child_zone = Zone("sub.glueless.example")
+        child_zone.add_record(soa_record(name("sub.glueless.example"),
+                                         ns_host,
+                                         name("admin.glueless.example")))
+        child_zone.add_record(a_record(name("leaf.sub.glueless.example"),
+                                       "198.51.100.9"))
+        attach_server(world, "glueless-child", child_zone, "203.0.113.77")
+
+        response = ask(world, hosted, "leaf.sub.glueless.example")
+        assert response.rcode == RCode.NOERROR
+        assert response.answers[0].rdata.address == "198.51.100.9"
+
+    def test_unresolvable_glueless_ns_servfails(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        parent_zone = Zone("dead.example")
+        parent_zone.add_record(soa_record(name("dead.example"),
+                                          name("ns.dead.example"),
+                                          name("admin.dead.example")))
+        # NS target under an existing CDE leaf => NXDOMAIN on resolution.
+        missing_ns = world.cde.ns_name.prepend("no-such-host")
+        parent_zone.add_record(ns_record(name("sub.dead.example"),
+                                         missing_ns))
+        parent_zone.add_record(a_record(name("ns.dead.example"),
+                                        "203.0.113.80"))
+        attach_server(world, "dead-parent", parent_zone, "203.0.113.80")
+        world.hierarchy.delegate("dead.example", "ns.dead.example",
+                                 "203.0.113.80")
+        response = ask(world, hosted, "leaf.sub.dead.example")
+        assert response.rcode == RCode.SERVFAIL
+
+
+class TestCnameLoops:
+    def test_two_node_loop_servfails(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        loop_a = world.cde.unique_name("loop-a")
+        loop_b = world.cde.unique_name("loop-b")
+        world.cde.zone.add_record(cname_record(loop_a, loop_b))
+        world.cde.zone.add_record(cname_record(loop_b, loop_a))
+        response = ask(world, hosted, str(loop_a))
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_self_loop_servfails(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        selfish = world.cde.unique_name("self")
+        world.cde.zone.add_record(cname_record(selfish, selfish))
+        response = ask(world, hosted, str(selfish))
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_long_chain_within_limit_resolves(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        chain = world.cde.setup_fresh_chain(links=8)
+        response = ask(world, hosted, str(chain[0]))
+        assert response.rcode == RCode.NOERROR
+        assert response.answers[-1].rtype == RRType.A
+        assert len(response.answers) == 9
+
+    def test_overlong_chain_servfails(self, world):
+        from repro.resolver.iterative import MAX_CNAME_DEPTH
+
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        chain = world.cde.setup_fresh_chain(links=MAX_CNAME_DEPTH + 2)
+        response = ask(world, hosted, str(chain[0]))
+        assert response.rcode == RCode.SERVFAIL
+
+
+class TestReferralLoops:
+    def test_self_referral_servfails(self, world):
+        """A zone that answers every query with a referral to itself."""
+
+        class SelfReferral:
+            def handle_message(self, message, src_ip, network):
+                response = message.make_response()
+                response.add_authority([ns_record(name("evil.example"),
+                                                  name("ns.evil.example"))])
+                response.add_additional([a_record(name("ns.evil.example"),
+                                                  "203.0.113.90")])
+                return response
+
+        world.network.register("203.0.113.90", SelfReferral())
+        world.hierarchy.delegate("evil.example", "ns.evil.example",
+                                 "203.0.113.90")
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        response = ask(world, hosted, "anything.evil.example")
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_upward_referral_rejected(self, world):
+        """Referrals must descend; an upward referral (to the root) is a
+        loop and must not be followed."""
+
+        class UpwardReferral:
+            def handle_message(self, message, src_ip, network):
+                response = message.make_response()
+                response.add_authority([ns_record(name(""),
+                                                  name("fake-root.example"))])
+                response.add_additional([a_record(name("fake-root.example"),
+                                                  "203.0.113.91")])
+                return response
+
+        world.network.register("203.0.113.91", UpwardReferral())
+        world.hierarchy.delegate("up.example", "ns.up.example",
+                                 "203.0.113.91")
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        response = ask(world, hosted, "anything.up.example")
+        assert response.rcode == RCode.SERVFAIL

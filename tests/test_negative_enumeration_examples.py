@@ -1,0 +1,76 @@
+"""Enumeration through negative caching, and example-script guards."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import queries_for_confidence
+from repro.dns import RRType
+
+
+class TestNegativeCachingEnumeration:
+    """The census also works with names that do not exist: each cache
+    stores the NXDOMAIN once (RFC 2308), so arrivals still count caches.
+    A natural extension of §IV-B1a exercising the negative path."""
+
+    @pytest.mark.parametrize("n_caches", [1, 3])
+    def test_nxdomain_census(self, world, n_caches):
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        # A name under an existing leaf is NXDOMAIN despite the wildcard.
+        missing = world.cde.ns_name.prepend("census")
+        budget = queries_for_confidence(n_caches, 0.999)
+        since = world.clock.now
+        for _ in range(budget):
+            world.prober.probe(ingress, missing)
+        arrivals = world.cde.count_queries_for(missing, since=since)
+        assert arrivals == n_caches
+
+    def test_nodata_census(self, world):
+        """NODATA (name exists, type does not) is cached per-type and
+        counts the same way."""
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("nodata")
+        world.cde.add_a_record(probe)  # exists with type A only
+        budget = queries_for_confidence(2, 0.999)
+        since = world.clock.now
+        for _ in range(budget):
+            world.prober.probe(ingress, probe, RRType.TXT)
+        arrivals = world.cde.count_queries_for(probe, since=since,
+                                               qtype=RRType.TXT)
+        assert arrivals == 2
+
+    def test_negative_entries_absorb_repeats(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        missing = world.cde.ns_name.prepend("absorb")
+        world.prober.probe(ingress, missing)
+        since = world.clock.now
+        for _ in range(5):
+            world.prober.probe(ingress, missing)
+        assert world.cde.count_queries_for(missing, since=since) == 0
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(script.name for script in
+                         EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert {"quickstart.py", "open_resolver_study.py",
+                "enterprise_smtp_study.py", "isp_adnetwork_study.py",
+                "timing_side_channel.py", "security_applications.py",
+                "topology_mapping.py"} <= set(EXAMPLE_SCRIPTS)
+
+    @pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+    def test_example_runs_clean(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True, text=True, timeout=300)
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip()

@@ -1,0 +1,117 @@
+"""Tests for IPv4 addresses, prefixes and allocators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import AddressAllocator, AddressPool, Prefix, int_to_ip, ip_to_int
+
+
+class TestConversions:
+    def test_ip_to_int(self):
+        assert ip_to_int("0.0.0.1") == 1
+        assert ip_to_int("1.0.0.0") == 2 ** 24
+        assert ip_to_int("255.255.255.255") == 2 ** 32 - 1
+
+    def test_int_to_ip(self):
+        assert int_to_ip(2 ** 24 + 5) == "1.0.0.5"
+
+    def test_bad_ip_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2 ** 32)
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefix:
+    def test_from_text(self):
+        prefix = Prefix.from_text("10.1.0.0/16")
+        assert prefix.size == 65536
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.from_text("10.1.0.1/16")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_contains(self):
+        prefix = Prefix.from_text("10.1.0.0/16")
+        assert prefix.contains("10.1.2.3")
+        assert not prefix.contains("10.2.0.0")
+
+    def test_nth(self):
+        prefix = Prefix.from_text("10.1.0.0/24")
+        assert prefix.nth(0) == "10.1.0.0"
+        assert prefix.nth(255) == "10.1.0.255"
+        with pytest.raises(IndexError):
+            prefix.nth(256)
+
+    def test_addresses_iterates_all(self):
+        prefix = Prefix.from_text("10.0.0.0/30")
+        assert list(prefix.addresses()) == \
+            ["10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3"]
+
+    def test_slash32(self):
+        prefix = Prefix.from_text("192.0.2.1/32")
+        assert prefix.size == 1
+        assert prefix.contains("192.0.2.1")
+
+
+class TestAddressPool:
+    def test_allocates_unique(self):
+        pool = AddressPool("10.0.0.0/29")
+        block = pool.allocate_block(8)
+        assert len(set(block)) == 8
+
+    def test_exhaustion(self):
+        pool = AddressPool("10.0.0.0/31")
+        pool.allocate_block(2)
+        with pytest.raises(RuntimeError):
+            pool.allocate()
+
+    def test_remaining(self):
+        pool = AddressPool("10.0.0.0/30")
+        pool.allocate()
+        assert pool.remaining == 3
+
+
+class TestAddressAllocator:
+    def test_disjoint_prefixes(self):
+        allocator = AddressAllocator("10.0.0.0/8")
+        a = allocator.allocate_prefix(24)
+        b = allocator.allocate_prefix(24)
+        a_addresses = set(a.addresses())
+        assert not any(addr in a_addresses for addr in b.addresses())
+
+    def test_alignment(self):
+        allocator = AddressAllocator("10.0.0.0/8")
+        allocator.allocate_prefix(30)
+        big = allocator.allocate_prefix(16)
+        assert big.base % big.size == 0
+
+    def test_pool_capacity(self):
+        allocator = AddressAllocator("10.0.0.0/8")
+        pool = allocator.allocate_pool(min_addresses=300)
+        assert pool.prefix.size >= 300
+        pool.allocate_block(300)
+
+    def test_too_large_rejected(self):
+        allocator = AddressAllocator("10.0.0.0/16")
+        with pytest.raises(ValueError):
+            allocator.allocate_prefix(8)
+
+    def test_exhaustion(self):
+        allocator = AddressAllocator("10.0.0.0/30")
+        allocator.allocate_prefix(31)
+        allocator.allocate_prefix(31)
+        with pytest.raises(RuntimeError):
+            allocator.allocate_prefix(32)

@@ -1,0 +1,82 @@
+"""Tests for virtual time and seeded RNG streams."""
+
+import pytest
+
+from repro.net import RngFactory, SimClock, make_rng
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestRngFactory:
+    def test_same_stream_same_object(self):
+        factory = RngFactory(1)
+        assert factory.stream("a") is factory.stream("a")
+
+    def test_deterministic_across_factories(self):
+        a = RngFactory(1).stream("x").random()
+        b = RngFactory(1).stream("x").random()
+        assert a == b
+
+    def test_different_streams_independent(self):
+        factory = RngFactory(1)
+        a = factory.stream("a").random()
+        b = factory.stream("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random()
+        b = RngFactory(2).stream("x").random()
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        a = RngFactory(1).fork("child").stream("x").random()
+        b = RngFactory(1).fork("child").stream("x").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RngFactory(1)
+        assert parent.fork("child").stream("x").random() != \
+            parent.stream("x").random()
+
+    def test_make_rng_none_seed(self):
+        assert make_rng(None).random() == make_rng(0).random()
+
+    def test_stream_consumption_isolated(self):
+        # Drawing from one stream must not shift another stream's sequence.
+        factory_a = RngFactory(5)
+        factory_a.stream("noise").random()
+        value_after_noise = factory_a.stream("signal").random()
+        factory_b = RngFactory(5)
+        value_without_noise = factory_b.stream("signal").random()
+        assert value_after_noise == value_without_noise

@@ -1,0 +1,93 @@
+"""Tests for the latency and loss models."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    BernoulliLoss,
+    BurstLoss,
+    CompositeLatency,
+    ConstantLatency,
+    LogNormalLatency,
+    NoLoss,
+    PAPER_LOSS_RATES,
+    UniformLatency,
+    country_loss,
+    lan_path,
+    wan_path,
+)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.01)
+        rng = random.Random(0)
+        assert all(model.sample(rng) == 0.01 for _ in range(5))
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(0.005, 0.02)
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(0.005 <= sample <= 0.02 for sample in samples)
+
+    def test_uniform_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.02, 0.01)
+
+    def test_lognormal_positive_and_spread(self):
+        model = LogNormalLatency(median=0.015, sigma=0.35)
+        rng = random.Random(1)
+        samples = sorted(model.sample(rng) for _ in range(500))
+        assert samples[0] > 0
+        median = samples[len(samples) // 2]
+        assert 0.012 < median < 0.018  # close to the configured median
+
+    def test_composite_adds_base(self):
+        model = CompositeLatency(base=0.1, jitter=ConstantLatency(0.01))
+        assert model.sample(random.Random(0)) == pytest.approx(0.11)
+
+    def test_wan_faster_than_lan_is_false(self):
+        rng = random.Random(0)
+        assert lan_path().sample(rng) < wan_path().sample(rng)
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        rng = random.Random(0)
+        assert not any(NoLoss().is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_zero(self):
+        rng = random.Random(0)
+        assert not any(BernoulliLoss(0.0).is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_rate(self):
+        rng = random.Random(3)
+        model = BernoulliLoss(0.11)
+        losses = sum(model.is_lost(rng) for _ in range(20_000))
+        assert 0.09 < losses / 20_000 < 0.13
+
+    def test_bernoulli_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+    def test_burst_loss_is_bursty(self):
+        rng = random.Random(5)
+        model = BurstLoss(good_to_bad=0.02, bad_to_good=0.2, bad_loss_rate=0.9)
+        outcomes = [model.is_lost(rng) for _ in range(20_000)]
+        losses = sum(outcomes)
+        assert losses > 0
+        # Consecutive-loss rate far above the square of the marginal rate
+        # demonstrates burstiness.
+        marginal = losses / len(outcomes)
+        pairs = sum(1 for i in range(len(outcomes) - 1)
+                    if outcomes[i] and outcomes[i + 1])
+        pair_rate = pairs / (len(outcomes) - 1)
+        assert pair_rate > 2 * marginal * marginal
+
+    def test_country_loss_uses_paper_rates(self):
+        assert country_loss("IR").rate == PAPER_LOSS_RATES["IR"] == 0.11
+        assert country_loss("CN").rate == 0.04
+        assert country_loss("DE").rate == PAPER_LOSS_RATES["default"] == 0.01

@@ -1,0 +1,188 @@
+"""Tests for the message-routing network."""
+
+import pytest
+
+from repro.dns import DnsMessage, NetworkUnreachable, QueryTimeout, RRType, name
+from repro.net import (
+    BernoulliLoss,
+    ConstantLatency,
+    LinkProfile,
+    Network,
+    NoLoss,
+)
+
+
+class Echo:
+    """Responds to everything; counts what it saw."""
+
+    def __init__(self):
+        self.seen = []
+
+    def handle_message(self, message, src_ip, network):
+        self.seen.append((message.qname, src_ip))
+        return message.make_response()
+
+
+class Silent:
+    def handle_message(self, message, src_ip, network):
+        return None
+
+
+def clean_profile(delay=0.01):
+    return LinkProfile(latency=ConstantLatency(delay), loss=NoLoss())
+
+
+def lossy_profile(rate, delay=0.01):
+    return LinkProfile(latency=ConstantLatency(delay), loss=BernoulliLoss(rate))
+
+
+@pytest.fixture
+def network():
+    return Network()
+
+
+def query_message(qname="host.example"):
+    return DnsMessage.make_query(name(qname), RRType.A, msg_id=1)
+
+
+class TestRouting:
+    def test_roundtrip(self, network):
+        echo = Echo()
+        network.register("10.0.0.1", echo, clean_profile())
+        transaction = network.query("192.0.2.1", "10.0.0.1", query_message())
+        assert transaction.response.is_response
+        assert echo.seen == [(name("host.example"), "192.0.2.1")]
+
+    def test_unreachable(self, network):
+        with pytest.raises(NetworkUnreachable):
+            network.query("192.0.2.1", "10.9.9.9", query_message())
+
+    def test_unregister(self, network):
+        network.register("10.0.0.1", Echo(), clean_profile())
+        network.unregister("10.0.0.1")
+        with pytest.raises(NetworkUnreachable):
+            network.query("192.0.2.1", "10.0.0.1", query_message())
+
+    def test_register_many(self, network):
+        echo = Echo()
+        network.register_many(["10.0.0.1", "10.0.0.2"], echo, clean_profile())
+        network.query("192.0.2.1", "10.0.0.2", query_message())
+        assert len(echo.seen) == 1
+
+    def test_endpoint_at(self, network):
+        echo = Echo()
+        network.register("10.0.0.1", echo, clean_profile())
+        assert network.endpoint_at("10.0.0.1") is echo
+        assert network.endpoint_at("10.0.0.2") is None
+
+
+class TestTiming:
+    def test_clock_advances_by_both_directions(self, network):
+        network.register("10.0.0.1", Echo(), clean_profile(0.01))
+        before = network.clock.now
+        transaction = network.query("192.0.2.1", "10.0.0.1", query_message())
+        # dst profile sampled each direction: 2 * 0.01 (src unregistered).
+        assert transaction.rtt == pytest.approx(0.02)
+        assert network.clock.now - before == pytest.approx(0.02)
+
+    def test_registered_source_adds_latency(self, network):
+        network.register("10.0.0.1", Echo(), clean_profile(0.01))
+        network.register("192.0.2.1", Silent(), clean_profile(0.005))
+        transaction = network.query("192.0.2.1", "10.0.0.1", query_message())
+        assert transaction.rtt == pytest.approx(0.03)
+
+    def test_nested_queries_accumulate_rtt(self, network):
+        inner = Echo()
+        network.register("10.0.0.2", inner, clean_profile(0.01))
+
+        class Relay:
+            def handle_message(self, message, src_ip, network):
+                network.query("10.0.0.1", "10.0.0.2", message)
+                return message.make_response()
+
+        network.register("10.0.0.1", Relay(), clean_profile(0.01))
+        transaction = network.query("192.0.2.1", "10.0.0.1", query_message())
+        # outer 2*(0.01) + inner 2*(0.01+0.01): relay's own profile counts.
+        assert transaction.rtt == pytest.approx(0.06)
+
+
+class TestLossAndRetries:
+    def test_total_loss_times_out(self, network):
+        network.register("10.0.0.1", Echo(), lossy_profile(1.0 - 1e-9))
+        with pytest.raises(QueryTimeout):
+            network.query("192.0.2.1", "10.0.0.1", query_message(),
+                          timeout=1.0, retries=2)
+        assert network.stats.timeouts == 1
+
+    def test_timeout_advances_clock(self, network):
+        network.register("10.0.0.1", Echo(), lossy_profile(1.0 - 1e-9))
+        with pytest.raises(QueryTimeout):
+            network.query("192.0.2.1", "10.0.0.1", query_message(),
+                          timeout=1.0, retries=1)
+        assert network.clock.now == pytest.approx(2.0)
+
+    def test_silent_endpoint_times_out(self, network):
+        network.register("10.0.0.1", Silent(), clean_profile())
+        with pytest.raises(QueryTimeout):
+            network.query("192.0.2.1", "10.0.0.1", query_message(),
+                          timeout=0.5, retries=0)
+
+    def test_retransmission_succeeds_through_loss(self, network):
+        network.register("10.0.0.1", Echo(), lossy_profile(0.5))
+        delivered = 0
+        for _ in range(50):
+            try:
+                network.query("192.0.2.1", "10.0.0.1", query_message(),
+                              timeout=0.1, retries=5)
+                delivered += 1
+            except QueryTimeout:
+                pass
+        # Per attempt p(success) = 0.5^2 = 0.25; with 6 attempts
+        # p(fail) = 0.75^6 ~ 0.18, so ~41/50 expected.
+        assert delivered >= 30
+        assert network.stats.retransmissions > 0
+
+    def test_response_loss_still_reaches_endpoint(self, network):
+        """A lost response must still have side effects at the endpoint —
+        that is why carpet probes can seed caches even when unanswered."""
+        echo = Echo()
+
+        class ResponseEater:
+            """Loss model: drop every second traversal (the response)."""
+
+            def __init__(self):
+                self.count = 0
+
+            def is_lost(self, rng):
+                self.count += 1
+                return self.count % 2 == 0
+
+        network.register("10.0.0.1", echo, LinkProfile(
+            latency=ConstantLatency(0.01), loss=ResponseEater()))
+        with pytest.raises(QueryTimeout):
+            network.query("192.0.2.1", "10.0.0.1", query_message(),
+                          timeout=0.1, retries=0)
+        assert len(echo.seen) == 1
+        assert network.stats.responses_lost == 1
+
+    def test_stats_counters(self, network):
+        network.register("10.0.0.1", Echo(), clean_profile())
+        network.query("192.0.2.1", "10.0.0.1", query_message())
+        assert network.stats.messages_sent == 1
+        assert network.stats.messages_delivered == 1
+        network.stats.reset()
+        assert network.stats.messages_sent == 0
+
+
+class TestOneWay:
+    def test_oneway_delivery(self, network):
+        echo = Echo()
+        network.register("10.0.0.1", echo, clean_profile())
+        assert network.send_oneway("192.0.2.1", "10.0.0.1", query_message())
+        assert len(echo.seen) == 1
+
+    def test_oneway_loss(self, network):
+        echo = Echo()
+        network.register("10.0.0.1", echo, lossy_profile(1.0 - 1e-9))
+        assert not network.send_oneway("192.0.2.1", "10.0.0.1", query_message())
+        assert echo.seen == []

@@ -1,0 +1,188 @@
+"""The claims ledger: one test per load-bearing sentence of the paper.
+
+Each test quotes the claim it reproduces.  This file is the map from the
+paper's text to the behaviour of this implementation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    carpet_k,
+    coverage_fraction,
+    enumerate_direct,
+    expected_queries_coupon,
+    harmonic_number,
+    init_validate_success,
+    queries_for_confidence,
+)
+from repro.net import PAPER_LOSS_RATES
+
+
+class TestSectionIV:
+    def test_omega_is_the_cache_count(self, world):
+        """§IV-B1a: 'The number of queries ω < q arriving at our nameserver
+        is the number of caches used by the resolution platform.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        q = queries_for_confidence(4, 0.999)
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=q)
+        assert result.arrivals == 4
+        assert result.arrivals < q
+
+    def test_each_hostname_queried_once_through_local_caches(self, world):
+        """§IV-B: 'each hostname can be queried only once (the subsequent
+        queries for that name are responded from the local cache without
+        reaching the ingress resolver ...)'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        browser = world.make_browser(hosted)
+        probe = world.cde.unique_name("once")
+        queries_before = hosted.platform.stats.queries
+        for _ in range(10):
+            browser.fetch(f"http://{probe}/")
+        assert hosted.platform.stats.queries == queries_before + 1
+
+    def test_cname_chain_keeps_local_caches_out(self, world):
+        """§IV-B2a: 'The local caches are not involved in the resolution
+        process (specifically in resolving the CNAME redirection) and only
+        receive the final answer.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        browser = world.make_browser(hosted)
+        chain = world.cde.setup_cname_chain(q=21)
+        since = world.clock.now
+        for alias in chain.aliases:
+            result = browser.fetch(f"http://{alias}/")
+            assert not result.from_browser_cache
+        assert world.cde.count_queries_for(chain.target, since=since) == 3
+
+    def test_hierarchy_count_at_parent(self, world):
+        """§IV-B2b: 'The number of queries arriving at the nameserver of
+        cache.example indicate the number of caches used by a given IP
+        address.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        browser = world.make_browser(hosted)
+        hierarchy = world.cde.setup_names_hierarchy(q=21)
+        since = world.clock.now
+        for leaf in hierarchy.names:
+            browser.fetch(f"http://{leaf}/")
+        assert world.cde.count_queries_under(hierarchy.origin,
+                                             since=since) == 3
+
+    def test_subsequent_queries_go_directly_to_subzone(self, world):
+        """§IV-B2b: 'During the subsequent queries, the cache will have
+        stored the NS and A records for sub.cache.example, and should query
+        it directly.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hierarchy = world.cde.setup_names_hierarchy(q=5)
+        browser = world.make_browser(hosted)
+        browser.fetch(f"http://{hierarchy.names[0]}/")
+        parent_since = world.clock.now
+        for leaf in hierarchy.names[1:]:
+            browser.fetch(f"http://{leaf}/")
+        # All four later leaves went straight to the subzone server.
+        assert world.cde.count_queries_under(hierarchy.origin,
+                                             since=parent_since) == 0
+        assert len(hierarchy.server.query_log) == 5
+
+
+class TestSectionVB:
+    def test_round_robin_needs_q_equals_n(self, world):
+        """§V-B: 'Assuming a round robin cache selection and no traffic
+        from other sources, then q = n DNS requests would be needed to
+        probe all the caches.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=6, n_egress=1,
+                                    selector="round-robin")
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=6)
+        assert result.arrivals == 6
+
+    def test_theorem_51(self):
+        """Theorem 5.1: E(X) = n × H_n = n log n + O(n) = Θ(n log n)."""
+        for n in (1, 5, 50):
+            assert expected_queries_coupon(n) == \
+                pytest.approx(n * harmonic_number(n))
+        # Θ(n log n): the ratio E(X)/(n ln n) converges to 1.
+        assert expected_queries_coupon(10_000) / \
+            (10_000 * math.log(10_000)) == pytest.approx(1.0, abs=0.07)
+
+    def test_uncovered_fraction_formula(self):
+        """§V-B: 'the expected part of the n caches that is not covered in
+        N attempts is roughly exp(−N/n)'."""
+        n, big_n = 10, 25
+        rng = random.Random(0)
+        trials = 3000
+        uncovered = sum(
+            n - len({rng.randrange(n) for _ in range(big_n)})
+            for _ in range(trials)
+        ) / trials
+        assert uncovered / n == pytest.approx(math.exp(-big_n / n), abs=0.02)
+
+    def test_n_equals_2n_misses_small_fraction(self):
+        """§V-B: 'only a small fraction of caches may be missed with
+        N = 2*n'."""
+        assert 1 - coverage_fraction(2 * 10, 10) < 0.14
+
+    def test_success_asymptotically_reaches_n(self):
+        """§V-B: 'We expect success rate of N·(1 − exp(−N/n))²; as N/n
+        grows, this asymptotically reaches N.'"""
+        n = 4
+        fractions = [init_validate_success(k * n, n) / (k * n)
+                     for k in (1, 2, 8, 64)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.99
+
+
+class TestSectionV:
+    def test_paper_loss_rates(self):
+        """§V: 'Highest packet loss was measured in Iran with 11%, China
+        almost 4%; the rest networks exhibited around 1%.'"""
+        assert PAPER_LOSS_RATES["IR"] == 0.11
+        assert PAPER_LOSS_RATES["CN"] == 0.04
+        assert PAPER_LOSS_RATES["default"] == 0.01
+
+    def test_carpet_k_is_a_function_of_loss(self):
+        """§V: 'instead of a single query we use K queries; such that the
+        parameter K is a function of a packet loss in the measured
+        network.'"""
+        ks = [carpet_k(rate) for rate in sorted(PAPER_LOSS_RATES.values())]
+        assert ks == sorted(ks)
+        assert carpet_k(PAPER_LOSS_RATES["IR"]) > \
+            carpet_k(PAPER_LOSS_RATES["default"])
+
+
+class TestSectionVII:
+    def test_single_ip_reveals_little(self, world):
+        """§VII: 'the IP addresses expose little information about the
+        internal configurations in DNS resolution platforms' — two
+        platforms with identical address footprints, different insides."""
+        small = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        large = world.add_platform(n_ingress=1, n_caches=6, n_egress=1)
+        # Address-level view: identical.
+        assert len(small.platform.ingress_ips) == \
+            len(large.platform.ingress_ips)
+        assert len(small.platform.egress_ips) == \
+            len(large.platform.egress_ips)
+        # Cache-level view: different — and the CDE sees it.
+        budget = queries_for_confidence(6, 0.999)
+        count_small = enumerate_direct(
+            world.cde, world.prober, small.platform.ingress_ips[0],
+            q=budget).arrivals
+        count_large = enumerate_direct(
+            world.cde, world.prober, large.platform.ingress_ips[0],
+            q=budget).arrivals
+        assert (count_small, count_large) == (1, 6)
+
+    def test_cname_links_come_from_multiple_egress_ips(self, world):
+        """§VII: 'a CNAME chain often begins with one IP address, which is
+        replaced by others in subsequent links in a CNAME chain.'"""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=6)
+        chain = world.cde.setup_fresh_chain(links=6)
+        since = world.clock.now
+        world.prober.probe(hosted.platform.ingress_ips[0], chain[0])
+        sources = {
+            entry.src_ip
+            for entry in world.cde.server.query_log.entries(since=since)
+        }
+        assert len(sources) > 1

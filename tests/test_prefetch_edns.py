@@ -1,0 +1,136 @@
+"""Tests for prefetching (census-bias documentation) and the EDNS survey."""
+
+import pytest
+
+from repro.core import (
+    enumerate_direct,
+    probe_platform_edns,
+    queries_for_confidence,
+    survey_edns_adoption,
+)
+
+
+class TestPrefetch:
+    def prefetching_platform(self, world, n_caches=1, horizon=60.0):
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        hosted.platform.config.prefetch_horizon = horizon
+        return hosted
+
+    def test_prefetch_triggers_near_expiry(self, world):
+        hosted = self.prefetching_platform(world)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("pf")
+        world.cde.add_a_record(probe, ttl=100)
+        world.prober.probe(ingress, probe)
+        world.clock.advance(50)  # remaining 50 <= horizon 60
+        since = world.clock.now
+        world.prober.probe(ingress, probe)
+        assert hosted.platform.stats.prefetches == 1
+        # The refresh reached our nameserver.
+        assert world.cde.count_queries_for(probe, since=since) == 1
+
+    def test_no_prefetch_when_fresh(self, world):
+        hosted = self.prefetching_platform(world)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("pf")
+        world.cde.add_a_record(probe, ttl=1000)
+        world.prober.probe(ingress, probe)
+        world.prober.probe(ingress, probe)
+        assert hosted.platform.stats.prefetches == 0
+
+    def test_client_still_served_old_answer(self, world):
+        hosted = self.prefetching_platform(world)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("pf")
+        world.cde.add_a_record(probe, ttl=100)
+        world.prober.probe(ingress, probe)
+        world.clock.advance(50)
+        result = world.prober.probe(ingress, probe)
+        assert result.transaction.response.answers
+        # Served from the pre-refresh entry: TTL reflects aging.
+        assert result.transaction.response.answers[0].ttl <= 50
+
+    def test_prefetch_extends_effective_lifetime(self, world):
+        """A steadily queried record never expires under prefetching."""
+        hosted = self.prefetching_platform(world, horizon=60.0)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("pf")
+        world.cde.add_a_record(probe, ttl=100)
+        world.prober.probe(ingress, probe)
+        for _ in range(6):
+            world.clock.advance(70)
+            world.prober.probe(ingress, probe)
+        # Every post-refresh lookup was a cache hit (no cold misses).
+        assert hosted.platform.stats.prefetches >= 5
+
+    def test_prefetch_census_bias_documented(self, world):
+        """The bias the docstring warns about: probing a record that keeps
+        crossing the prefetch horizon produces refresh queries the naive
+        census would misread as extra caches."""
+        hosted = self.prefetching_platform(world, n_caches=1, horizon=120.0)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("pf-bias")
+        world.cde.add_a_record(probe, ttl=100)  # always inside the horizon
+        budget = queries_for_confidence(1, 0.99) + 5
+        result = enumerate_direct(world.cde, world.prober, ingress, q=budget,
+                                  probe_name=probe, pace=10.0)
+        # One real cache, but prefetch refreshes inflate the arrival count.
+        assert result.arrivals > 1
+        assert hosted.platform.stats.prefetches == result.arrivals - 1
+
+    def test_countermeasure_long_ttl_probe(self, world):
+        """The CDE's own probe records (long TTL) stay clear of any sane
+        prefetch horizon, so the standard census is unaffected."""
+        hosted = self.prefetching_platform(world, n_caches=3, horizon=120.0)
+        ingress = hosted.platform.ingress_ips[0]
+        budget = queries_for_confidence(3, 0.999)
+        result = enumerate_direct(world.cde, world.prober, ingress, q=budget)
+        assert result.arrivals == 3
+        assert hosted.platform.stats.prefetches == 0
+
+
+class TestEdnsSurvey:
+    def test_supporting_platform(self, world, single_cache_platform):
+        observation = probe_platform_edns(
+            world.cde, world.prober,
+            single_cache_platform.platform.ingress_ips[0])
+        assert observation.reachable
+        assert observation.supports_edns
+        assert observation.advertised_size == 4096
+
+    def test_legacy_platform(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hosted.platform.config.edns_payload_size = None
+        observation = probe_platform_edns(world.cde, world.prober,
+                                          hosted.platform.ingress_ips[0])
+        assert observation.reachable
+        assert not observation.supports_edns
+
+    def test_plain_query_gets_no_opt(self, world, single_cache_platform):
+        result = world.prober.probe(
+            single_cache_platform.platform.ingress_ips[0],
+            world.cde.unique_name("noopt"))
+        assert result.transaction.response.edns_payload_size is None
+
+    def test_survey_adoption_rate(self, world):
+        ingress_ips = []
+        for index in range(6):
+            hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+            if index % 3 == 0:
+                hosted.platform.config.edns_payload_size = None
+            ingress_ips.append(hosted.platform.ingress_ips[0])
+        survey = survey_edns_adoption(world.cde, world.prober, ingress_ips)
+        assert survey.surveyed == 6
+        assert survey.supporting == 4
+        assert survey.adoption_rate == pytest.approx(4 / 6)
+        assert survey.size_histogram() == {4096: 4}
+
+    def test_unreachable_counted_separately(self, world):
+        from repro.study import SinkEndpoint
+
+        dead = "10.254.0.1"
+        world.network.register(dead, SinkEndpoint())
+        survey = survey_edns_adoption(world.cde, world.prober, [dead])
+        assert survey.surveyed == 0
+        assert not survey.observations[0].reachable

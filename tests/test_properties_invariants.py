@@ -1,0 +1,180 @@
+"""Property-based invariants over the substrates (hypothesis).
+
+These tests pin down algebraic properties that every refactor must
+preserve: zone-lookup totality and mutual exclusion, cache TTL monotony,
+selection-strategy range safety, and analysis-function monotonicity.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import DnsCache
+from repro.core.analysis import (
+    coverage_fraction,
+    estimate_from_occupancy,
+    expected_queries_coupon,
+    queries_for_confidence,
+)
+from repro.dns import (
+    LookupKind,
+    RRSet,
+    RRType,
+    Zone,
+    a_record,
+    name,
+    ns_record,
+    soa_record,
+)
+from repro.dns.name import DnsName
+from repro.resolver.selection import make_selector, QueryContext
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                min_size=1, max_size=8)
+
+
+def build_zone(leaf_labels, delegated_labels, wildcard):
+    zone = Zone("z.example")
+    zone.add_record(soa_record(name("z.example"), name("ns.z.example"),
+                               name("admin.z.example")))
+    zone.add_record(ns_record(name("z.example"), name("ns.z.example")))
+    zone.add_record(a_record(name("ns.z.example"), "203.0.113.1"))
+    for label in leaf_labels:
+        try:
+            zone.add_record(a_record(name(f"{label}.z.example"), "1.1.1.1"))
+        except Exception:
+            pass
+    for label in delegated_labels:
+        try:
+            zone.add_record(ns_record(name(f"sub-{label}.z.example"),
+                                      name(f"ns.sub-{label}.z.example")))
+            zone.add_record(a_record(name(f"ns.sub-{label}.z.example"),
+                                     "203.0.113.2"))
+        except Exception:
+            pass
+    if wildcard:
+        zone.add_record(a_record(name("*.z.example"), "9.9.9.9"))
+    return zone
+
+
+class TestZoneProperties:
+    @settings(max_examples=60)
+    @given(leaves=st.lists(LABEL, max_size=5),
+           delegations=st.lists(LABEL, max_size=3),
+           wildcard=st.booleans(),
+           qlabels=st.lists(LABEL, min_size=1, max_size=3),
+           qtype=st.sampled_from([RRType.A, RRType.TXT, RRType.NS]))
+    def test_lookup_is_total_and_exclusive(self, leaves, delegations,
+                                           wildcard, qlabels, qtype):
+        """Every in-zone name yields exactly one well-formed result kind."""
+        zone = build_zone(leaves, delegations, wildcard)
+        qname = DnsName(tuple(qlabels)).concatenate(name("z.example"))
+        result = zone.lookup(qname, qtype)
+        assert result.kind in LookupKind
+        if result.kind in (LookupKind.ANSWER, LookupKind.CNAME):
+            assert result.rrset is not None
+            assert all(record.name == qname for record in result.rrset)
+        if result.kind == LookupKind.REFERRAL:
+            assert any(r.rtype == RRType.NS for r in result.authority)
+            assert not result.records
+        if result.kind in (LookupKind.NODATA, LookupKind.NXDOMAIN):
+            assert not result.records
+
+    @settings(max_examples=40)
+    @given(leaves=st.lists(LABEL, min_size=1, max_size=5),
+           qlabel=LABEL)
+    def test_existing_leaf_always_answers(self, leaves, qlabel):
+        zone = build_zone(leaves, [], wildcard=False)
+        target = name(f"{leaves[0]}.z.example")
+        result = zone.lookup(target, RRType.A)
+        assert result.kind == LookupKind.ANSWER
+
+    @settings(max_examples=40)
+    @given(delegations=st.lists(LABEL, min_size=1, max_size=3),
+           deep=st.lists(LABEL, min_size=1, max_size=3))
+    def test_delegation_beats_wildcard(self, delegations, deep):
+        zone = build_zone([], delegations, wildcard=True)
+        below = DnsName(tuple(deep)).concatenate(
+            name(f"sub-{delegations[0]}.z.example"))
+        result = zone.lookup(below, RRType.A)
+        assert result.kind == LookupKind.REFERRAL
+
+
+class TestCacheProperties:
+    @settings(max_examples=60)
+    @given(ttl=st.integers(1, 5000),
+           age=st.floats(0, 6000),
+           min_ttl=st.integers(0, 100),
+           span=st.integers(0, 5000))
+    def test_aged_ttl_never_exceeds_clamped(self, ttl, age, min_ttl, span):
+        cache = DnsCache(min_ttl=min_ttl, max_ttl=min_ttl + span)
+        rrset = RRSet.from_records([a_record(name("p.example"), "1.1.1.1",
+                                             ttl=ttl)])
+        cache.put_rrset(rrset, now=0.0)
+        entry = cache.peek(name("p.example"), RRType.A, now=age)
+        clamped = cache.clamp_ttl(ttl)
+        if entry is None:
+            assert age >= clamped
+        else:
+            aged = entry.aged_rrset(age)
+            assert 0 <= aged.ttl <= clamped
+
+    @settings(max_examples=40)
+    @given(times=st.lists(st.floats(0, 100), min_size=2, max_size=10))
+    def test_hit_after_hit_within_ttl(self, times):
+        """Once cached, an entry answers at every instant inside its TTL,
+        regardless of lookup order."""
+        cache = DnsCache()
+        cache.put_rrset(RRSet.from_records(
+            [a_record(name("q.example"), "1.1.1.1", ttl=200)]), now=0.0)
+        for t in sorted(times):
+            assert cache.peek(name("q.example"), RRType.A, now=t) is not None
+
+
+class TestSelectorProperties:
+    @settings(max_examples=60)
+    @given(selector_name=st.sampled_from(
+        ["round-robin", "uniform-random", "qname-hash", "source-ip-hash",
+         "least-loaded", "sticky-random"]),
+        n_caches=st.integers(1, 12),
+        queries=st.integers(1, 30),
+        seed=st.integers(0, 5))
+    def test_selection_always_in_range(self, selector_name, n_caches,
+                                       queries, seed):
+        selector = make_selector(selector_name, random.Random(seed))
+        for sequence in range(queries):
+            context = QueryContext(qname=name(f"q{sequence}.example"),
+                                   qtype=RRType.A,
+                                   src_ip=f"192.0.2.{sequence % 250}",
+                                   sequence=sequence)
+            assert 0 <= selector.select(context, n_caches) < n_caches
+
+
+class TestAnalysisProperties:
+    @settings(max_examples=40)
+    @given(n=st.integers(1, 200))
+    def test_coupon_cost_superadditive(self, n):
+        assert expected_queries_coupon(n + 1) > expected_queries_coupon(n)
+
+    @settings(max_examples=40)
+    @given(n=st.integers(1, 100),
+           confidence=st.floats(0.5, 0.999))
+    def test_budget_monotone_in_confidence(self, n, confidence):
+        lower = queries_for_confidence(n, confidence)
+        higher = queries_for_confidence(n, min(0.9999,
+                                               confidence + 0.0005))
+        assert higher >= lower
+
+    @settings(max_examples=40)
+    @given(big_n=st.integers(0, 500), n=st.integers(1, 100))
+    def test_coverage_in_unit_interval(self, big_n, n):
+        value = coverage_fraction(big_n, n)
+        assert 0.0 <= value < 1.0 or value == 1.0
+
+    @settings(max_examples=40)
+    @given(queries=st.integers(1, 200), seed=st.integers(0, 100))
+    def test_occupancy_estimate_at_least_observed(self, queries, seed):
+        rng = random.Random(seed)
+        omega = rng.randint(0, queries)
+        estimate = estimate_from_occupancy(queries, omega)
+        assert estimate >= omega - 1e-6 or omega == 0

@@ -1,0 +1,152 @@
+"""Coverage for remaining corners: out-of-bailiwick delegation, measurement
+budget internals, zone inspection helpers, carpet/timing dataclasses."""
+
+import pytest
+
+from repro.core.carpet import LossEstimate
+from repro.dns import (
+    DnsMessage,
+    LookupKind,
+    RCode,
+    RRType,
+    a_record,
+    name,
+    soa_record,
+)
+from repro.dns.zone import Zone, rrsets_of
+from repro.server import AuthoritativeServer
+from repro.study import PlatformSpec
+from repro.study.measurement import MeasurementBudget, _egress_probe_budget
+
+
+class TestOutOfBailiwickDelegation:
+    def test_sibling_glue_published_at_host_tld(self, world):
+        """Delegating victim.example to ns.victimdns.net: the glue must be
+        findable through the net TLD, and resolution must work end to end."""
+        child_zone = Zone("victim.example")
+        child_zone.add_record(soa_record(name("victim.example"),
+                                         name("ns.victimdns.net"),
+                                         name("admin.victim.example")))
+        child_zone.add_record(a_record(name("www.victim.example"),
+                                       "198.51.100.20"))
+        server = AuthoritativeServer("victim-ns")
+        server.add_zone(child_zone)
+        world.network.register("203.0.113.150", server)
+        world.hierarchy.delegate("victim.example", "ns.victimdns.net",
+                                 "203.0.113.150")
+
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        query = DnsMessage.make_query(name("www.victim.example"), RRType.A)
+        response = world.network.query(world.prober_ip,
+                                       hosted.platform.ingress_ips[0],
+                                       query).response
+        assert response.rcode == RCode.NOERROR
+        assert response.answers[0].rdata.address == "198.51.100.20"
+
+    def test_net_tld_created_on_demand(self, world):
+        world.hierarchy.delegate("foo.example", "ns.foodns.org",
+                                 "203.0.113.151")
+        assert world.hierarchy.tld_server("org") is not None
+
+
+class TestMeasurementInternals:
+    def spec(self, n_egress):
+        return PlatformSpec(population="open-resolvers", index=1,
+                            operator="op", country="default", n_ingress=1,
+                            n_caches=1, n_egress=n_egress,
+                            selector_name="uniform-random")
+
+    def test_egress_budget_scales_with_pool(self):
+        budget = MeasurementBudget(egress_probe_factor=3.0,
+                                   min_egress_probes=10,
+                                   max_egress_probes=100)
+        assert _egress_probe_budget(self.spec(2), budget) == 10   # floor
+        assert _egress_probe_budget(self.spec(20), budget) == 60  # 3x
+        assert _egress_probe_budget(self.spec(50), budget) == 100  # cap
+
+    def test_measures_registry_covers_populations(self):
+        from repro.study.measurement import MEASURES
+        from repro.study.population import POPULATIONS
+
+        assert set(MEASURES) == set(POPULATIONS)
+
+
+class TestZoneInspection:
+    @pytest.fixture
+    def zone(self):
+        zone = Zone("inspect.example")
+        zone.add_record(soa_record(name("inspect.example"),
+                                   name("ns.inspect.example"),
+                                   name("admin.inspect.example")))
+        zone.add_record(a_record(name("a.b.inspect.example"), "1.1.1.1"))
+        return zone
+
+    def test_names_includes_owners_only(self, zone):
+        assert name("a.b.inspect.example") in zone.names()
+        assert name("b.inspect.example") not in zone.names()
+
+    def test_contains_counts_empty_non_terminals(self, zone):
+        assert name("b.inspect.example") in zone
+        assert name("missing.inspect.example") not in zone
+
+    def test_empty_non_terminal_lookup(self, zone):
+        result = zone.lookup(name("b.inspect.example"), RRType.A)
+        assert result.kind == LookupKind.NODATA
+
+    def test_soa_property(self, zone):
+        assert zone.soa is not None
+        assert zone.soa.rtype == RRType.SOA
+
+    def test_soa_missing(self):
+        zone = Zone("nosoa.example")
+        assert zone.soa is None
+
+    def test_rrsets_of_helper(self):
+        records = [a_record(name("x.example"), "1.1.1.1"),
+                   a_record(name("x.example"), "2.2.2.2")]
+        grouped = rrsets_of(records)
+        assert len(grouped) == 1
+        assert len(grouped[0]) == 2
+
+    def test_get_rrset(self, zone):
+        assert zone.get_rrset(name("a.b.inspect.example"), RRType.A)
+        assert zone.get_rrset(name("a.b.inspect.example"), RRType.TXT) is None
+
+
+class TestSmallDataclasses:
+    def test_loss_estimate_rate(self):
+        assert LossEstimate(probes=50, lost=5).rate == 0.1
+        assert LossEstimate(probes=0, lost=0).rate == 0.0
+
+    def test_probe_result_fields(self, world, single_cache_platform):
+        result = world.prober.probe(
+            single_cache_platform.platform.ingress_ips[0],
+            world.cde.unique_name("pr"))
+        assert result.delivered
+        assert result.rtt is not None and result.rtt > 0
+        assert result.transaction is not None
+        assert result.qtype == RRType.A
+
+    def test_platform_repr(self, world, multi_cache_platform):
+        text = repr(multi_cache_platform.platform)
+        assert "caches=4" in text
+        assert "ingress=2" in text
+
+    def test_cache_repr(self, world, single_cache_platform):
+        cache = single_cache_platform.platform.caches[0]
+        assert "DnsCache" in repr(cache)
+
+    def test_clock_repr(self, world):
+        assert "SimClock" in repr(world.clock)
+
+
+class TestQtypeParsing:
+    def test_from_text(self):
+        assert RRType.from_text("a") == RRType.A
+        assert RRType.from_text(" TXT ") == RRType.TXT
+        with pytest.raises(ValueError):
+            RRType.from_text("NAPTR")
+
+    def test_str_presentation(self):
+        assert str(RRType.AAAA) == "AAAA"
+        assert str(RCode.NXDOMAIN) == "NXDOMAIN"

@@ -1,0 +1,112 @@
+"""Tests for multi-pool platforms and clustering against real partitions."""
+
+import pytest
+
+from repro.core import (
+    enumerate_direct,
+    discover_egress_ips,
+    map_ingress_to_clusters,
+    queries_for_confidence,
+)
+from repro.dns import DnsMessage, RCode, RRType, name
+from repro.resolver import MultiPoolConfig, PoolSpec
+
+
+class TestConfigValidation:
+    def test_needs_pools(self):
+        with pytest.raises(ValueError):
+            MultiPoolConfig(name="x", pools=[])
+
+    def test_rejects_shared_ingress(self):
+        pool_a = PoolSpec("a", ["10.1.0.1"], ["10.1.0.9"], 1)
+        pool_b = PoolSpec("b", ["10.1.0.1"], ["10.1.0.8"], 1)
+        with pytest.raises(ValueError):
+            MultiPoolConfig(name="x", pools=[pool_a, pool_b])
+
+
+class TestRoutingAndGroundTruth:
+    @pytest.fixture
+    def platform(self, world):
+        return world.add_multipool_platform(
+            pool_shapes=[(2, 1, 1), (2, 3, 2)])
+
+    def test_ground_truth_accessors(self, platform):
+        assert platform.n_pools == 2
+        assert platform.total_caches == 4
+        assert len(platform.ingress_ips) == 4
+        assert len(platform.egress_ips) == 3
+
+    def test_pool_of(self, platform):
+        partition = platform.true_partition()
+        for pool_name, ips in partition.items():
+            for ip in ips:
+                assert platform.pool_of(ip) == pool_name
+        assert platform.pool_of("203.0.113.250") is None
+
+    def test_each_ingress_answers(self, world, platform):
+        for ingress in platform.ingress_ips:
+            query = DnsMessage.make_query(
+                world.cde.unique_name("mp"), RRType.A)
+            response = world.network.query(world.prober_ip, ingress,
+                                           query).response
+            assert response.rcode == RCode.NOERROR
+
+    def test_pools_do_not_share_caches(self, world, platform):
+        """A record planted through pool A's ingress must miss in pool B."""
+        partition = platform.true_partition()
+        pools = sorted(partition)
+        ip_a = sorted(partition[pools[0]])[0]
+        ip_b = sorted(partition[pools[1]])[0]
+        probe = world.cde.unique_name("isolation")
+        budget = queries_for_confidence(3, 0.999)
+        for _ in range(budget):
+            world.prober.probe(ip_a, probe)
+        since = world.clock.now
+        world.prober.probe(ip_b, probe)
+        # Pool B had to fetch: its caches never saw the record.
+        assert world.cde.count_queries_for(probe, since=since) == 1
+
+
+class TestClusteringDiscoversPartition:
+    def test_two_pools(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(3, 2, 1), (2, 1, 1)])
+        result = map_ingress_to_clusters(world.cde, world.prober,
+                                         platform.ingress_ips)
+        measured = {frozenset(cluster.member_ips)
+                    for cluster in result.clusters}
+        truth = set(platform.true_partition().values())
+        assert measured == truth
+
+    def test_three_pools_interleaved(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(2, 1, 1), (2, 2, 1), (2, 1, 1)])
+        ips = platform.ingress_ips
+        shuffled = ips[::2] + ips[1::2]
+        result = map_ingress_to_clusters(world.cde, world.prober, shuffled)
+        measured = {frozenset(cluster.member_ips)
+                    for cluster in result.clusters}
+        assert measured == set(platform.true_partition().values())
+
+    def test_per_pool_cache_census(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(1, 1, 1), (1, 4, 1)])
+        counts = {}
+        for ingress in platform.ingress_ips:
+            pool_name = platform.pool_of(ingress)
+            budget = queries_for_confidence(4, 0.999)
+            counts[pool_name] = enumerate_direct(
+                world.cde, world.prober, ingress, q=budget).arrivals
+        assert counts["pool-0"] == 1
+        assert counts["pool-1"] == 4
+
+    def test_per_pool_egress_census(self, world):
+        platform = world.add_multipool_platform(
+            pool_shapes=[(1, 1, 2), (1, 1, 3)])
+        partition = platform.true_partition()
+        for pool_name, ips in partition.items():
+            ingress = sorted(ips)[0]
+            result = discover_egress_ips(world.cde, world.prober, ingress,
+                                         probes=30)
+            truth = set(platform.pools[pool_name].egress_ips)
+            assert result.egress_ips == truth

@@ -1,0 +1,154 @@
+"""Tests for cache-selection strategies (paper §IV-A)."""
+
+import random
+
+import pytest
+
+from repro.dns import RRType, name
+from repro.resolver import (
+    LeastLoadedSelector,
+    PinnedEgressSelector,
+    QnameHashSelector,
+    QueryContext,
+    RandomEgressSelector,
+    RoundRobinEgressSelector,
+    RoundRobinSelector,
+    SourceIpHashSelector,
+    StickyRandomSelector,
+    UniformRandomSelector,
+    make_selector,
+)
+
+
+def context(qname="q.example", src="192.0.2.1", sequence=0):
+    return QueryContext(qname=name(qname), qtype=RRType.A, src_ip=src,
+                        sequence=sequence)
+
+
+class TestRoundRobin:
+    def test_cycles_through_all(self):
+        selector = RoundRobinSelector()
+        picks = [selector.select(context(sequence=i), 4) for i in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_exactly_n_queries_cover_all(self):
+        """§V-B: with round robin, q = n suffices."""
+        selector = RoundRobinSelector()
+        picks = {selector.select(context(), 5) for _ in range(5)}
+        assert picks == set(range(5))
+
+    def test_not_unpredictable(self):
+        assert not RoundRobinSelector().is_unpredictable
+
+
+class TestUniformRandom:
+    def test_within_range(self):
+        selector = UniformRandomSelector(random.Random(0))
+        assert all(0 <= selector.select(context(), 7) < 7 for _ in range(100))
+
+    def test_roughly_uniform(self):
+        selector = UniformRandomSelector(random.Random(1))
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[selector.select(context(), 4)] += 1
+        assert min(counts) > 800
+
+    def test_unpredictable(self):
+        assert UniformRandomSelector().is_unpredictable
+
+
+class TestHashSelectors:
+    def test_qname_hash_stable(self):
+        selector = QnameHashSelector()
+        first = selector.select(context("a.example"), 8)
+        assert all(selector.select(context("a.example"), 8) == first
+                   for _ in range(5))
+
+    def test_qname_hash_case_insensitive(self):
+        selector = QnameHashSelector()
+        assert selector.select(context("A.EXAMPLE"), 8) == \
+            selector.select(context("a.example"), 8)
+
+    def test_qname_hash_varies_by_name(self):
+        selector = QnameHashSelector()
+        picks = {selector.select(context(f"n{i}.example"), 8)
+                 for i in range(40)}
+        assert len(picks) == 8
+
+    def test_source_hash_stable_per_client(self):
+        selector = SourceIpHashSelector()
+        first = selector.select(context(src="192.0.2.1"), 8)
+        assert selector.select(context("other.example", src="192.0.2.1"), 8) \
+            == first
+
+    def test_source_hash_varies_by_client(self):
+        selector = SourceIpHashSelector()
+        picks = {selector.select(context(src=f"192.0.2.{i}"), 8)
+                 for i in range(40)}
+        assert len(picks) >= 6
+
+    def test_salt_changes_mapping(self):
+        a = QnameHashSelector(salt="a")
+        b = QnameHashSelector(salt="b")
+        names = [f"n{i}.example" for i in range(20)]
+        assert any(a.select(context(n), 8) != b.select(context(n), 8)
+                   for n in names)
+
+
+class TestLeastLoaded:
+    def test_balances_evenly(self):
+        selector = LeastLoadedSelector()
+        counts = [0] * 3
+        for _ in range(9):
+            counts[selector.select(context(), 3)] += 1
+        assert counts == [3, 3, 3]
+
+
+class TestStickyRandom:
+    def test_sticks_sometimes(self):
+        selector = StickyRandomSelector(stickiness=0.9,
+                                        rng=random.Random(0))
+        picks = [selector.select(context(), 8) for _ in range(50)]
+        repeats = sum(1 for a, b in zip(picks, picks[1:]) if a == b)
+        assert repeats > 25
+
+    def test_invalid_stickiness(self):
+        with pytest.raises(ValueError):
+            StickyRandomSelector(stickiness=1.0)
+
+    def test_eventually_covers_all(self):
+        selector = StickyRandomSelector(stickiness=0.3,
+                                        rng=random.Random(1))
+        picks = {selector.select(context(), 4) for _ in range(200)}
+        assert picks == set(range(4))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("selector_name", [
+        "round-robin", "uniform-random", "qname-hash", "source-ip-hash",
+        "least-loaded", "sticky-random",
+    ])
+    def test_factory_builds_all(self, selector_name):
+        selector = make_selector(selector_name, random.Random(0))
+        assert 0 <= selector.select(context(), 4) < 4
+        assert selector.name == selector_name
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError):
+            make_selector("quantum")
+
+
+class TestEgressSelectors:
+    def test_pinned(self):
+        selector = PinnedEgressSelector()
+        assert all(selector.select("1.1.1.1", 5) == 0 for _ in range(5))
+
+    def test_round_robin_egress(self):
+        selector = RoundRobinEgressSelector()
+        assert [selector.select("1.1.1.1", 3) for _ in range(6)] == \
+            [0, 1, 2, 0, 1, 2]
+
+    def test_random_egress_covers_pool(self):
+        selector = RandomEgressSelector(random.Random(0))
+        picks = {selector.select("1.1.1.1", 6) for _ in range(200)}
+        assert picks == set(range(6))

@@ -1,0 +1,138 @@
+"""Tests for response rate limiting and the JSON export layer."""
+
+import json
+
+import pytest
+
+from repro.core import PlatformMonitor, survey_edns_adoption
+from repro.dns import DnsMessage, QueryTimeout, RRType, name
+from repro.net import ConstantLatency, LinkProfile, Network, NoLoss
+from repro.server import AuthoritativeServer
+from repro.study import (
+    MeasurementBudget,
+    build_world,
+    edns_survey_to_dict,
+    generate_population,
+    measure_population,
+    measurements_to_dict,
+    monitor_to_dict,
+    report_to_dict,
+    run_smtp_collection,
+    table1_to_dict,
+    to_json,
+)
+
+
+class TestRrl:
+    def make_server(self, rate=1.0, burst=3):
+        from repro.dns import a_record, soa_record
+        from repro.dns.zone import Zone
+
+        zone = Zone("rl.example")
+        zone.add_record(soa_record(name("rl.example"), name("ns.rl.example"),
+                                   name("admin.rl.example")))
+        zone.add_record(a_record(name("host.rl.example"), "1.2.3.4"))
+        server = AuthoritativeServer("rl-ns", rrl_rate=rate, rrl_burst=burst)
+        server.add_zone(zone)
+        network = Network()
+        network.register("203.0.113.99", server, LinkProfile(
+            latency=ConstantLatency(0.001), loss=NoLoss()))
+        return server, network
+
+    def ask(self, network, retries=0):
+        query = DnsMessage.make_query(name("host.rl.example"), RRType.A)
+        return network.query("192.0.2.1", "203.0.113.99", query,
+                             timeout=0.05, retries=retries)
+
+    def test_burst_allowed_then_dropped(self):
+        server, network = self.make_server(rate=0.1, burst=3)
+        for _ in range(3):
+            self.ask(network)
+        with pytest.raises(QueryTimeout):
+            self.ask(network)
+        assert server.rrl_dropped >= 1
+
+    def test_tokens_refill_over_time(self):
+        server, network = self.make_server(rate=1.0, burst=2)
+        self.ask(network)
+        self.ask(network)
+        with pytest.raises(QueryTimeout):
+            self.ask(network)
+        network.clock.advance(3.0)
+        self.ask(network)  # refilled
+
+    def test_per_client_isolation(self):
+        server, network = self.make_server(rate=0.1, burst=1)
+        self.ask(network)
+        # A different client is unaffected.
+        query = DnsMessage.make_query(name("host.rl.example"), RRType.A)
+        network.query("192.0.2.2", "203.0.113.99", query, timeout=0.05,
+                      retries=0)
+        assert server.rrl_dropped == 0
+
+    def test_disabled_by_default(self):
+        server, network = self.make_server(rate=None)
+        server.rrl_rate = None
+        for _ in range(20):
+            self.ask(network)
+        assert server.rrl_dropped == 0
+
+    def test_census_survives_moderate_rrl(self, world):
+        """Each cache queries our NS once per name, so per-source rates
+        stay tiny and the census is unaffected by sane RRL settings."""
+        from repro.core import enumerate_direct, queries_for_confidence
+
+        world.cde.server.rrl_rate = 5.0
+        world.cde.server.rrl_burst = 10
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=2)
+        budget = queries_for_confidence(3, 0.999)
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=budget)
+        assert result.arrivals == 3
+
+
+class TestExport:
+    def test_report_roundtrip(self, world, multi_cache_platform):
+        report = world.study(multi_cache_platform)
+        payload = report_to_dict(report)
+        parsed = json.loads(to_json(payload))
+        assert parsed["cache_count"] == 4
+        assert parsed["two_phase"]["seeds"] > 0
+        assert len(parsed["egress_ips"]) == 3
+        assert parsed["ingress_clusters"][0]["member_ips"]
+
+    def test_measurements_export(self):
+        world = build_world(seed=61, lossy_platforms=False)
+        specs = generate_population("open-resolvers", 4, seed=61,
+                                    max_ingress=2, max_caches=2, max_egress=3)
+        rows = measure_population(world, specs, MeasurementBudget())
+        payload = measurements_to_dict(rows)
+        parsed = json.loads(to_json(payload))
+        assert len(parsed) == 4
+        assert {"measured_caches", "true_caches",
+                "technique"} <= set(parsed[0])
+
+    def test_table1_export(self):
+        world = build_world(seed=62, lossy_platforms=False)
+        specs = generate_population("email-servers", 5, seed=62,
+                                    max_ingress=2, max_caches=2, max_egress=3)
+        result = run_smtp_collection(world, specs)
+        parsed = json.loads(to_json(table1_to_dict(result)))
+        assert parsed["domains_probed"] == 5
+        assert len(parsed["rows"]) == 6
+
+    def test_edns_survey_export(self, world, single_cache_platform):
+        survey = survey_edns_adoption(
+            world.cde, world.prober,
+            [single_cache_platform.platform.ingress_ips[0]])
+        parsed = json.loads(to_json(edns_survey_to_dict(survey)))
+        assert parsed["supporting"] == 1
+        assert parsed["size_histogram"] == {"4096": 1}
+
+    def test_monitor_export(self, world, multi_cache_platform):
+        monitor = PlatformMonitor(world.cde, world.prober,
+                                  multi_cache_platform.platform.ingress_ips[0])
+        monitor.run(rounds=2)
+        parsed = json.loads(to_json(monitor_to_dict(monitor)))
+        assert len(parsed["snapshots"]) == 2
+        assert parsed["events"] == []

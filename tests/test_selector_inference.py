@@ -1,0 +1,72 @@
+"""Tests for cache-selection strategy inference (the paper's future work)."""
+
+import pytest
+
+from repro.core import SelectorClass, infer_selector
+
+
+def classify(world, selector, n_caches=4, **kwargs):
+    hosted = world.add_platform(n_ingress=1, n_caches=n_caches, n_egress=1,
+                                selector=selector)
+    return infer_selector(world.cde, world.prober,
+                          hosted.platform.ingress_ips[0],
+                          n_hint=n_caches, **kwargs)
+
+
+class TestInference:
+    def test_round_robin_is_rotating(self, world):
+        inference = classify(world, "round-robin")
+        assert inference.inferred == SelectorClass.ROTATING
+        assert inference.same_name_census == 4
+        assert all(count == 4 for count in inference.determinism_trials)
+
+    def test_least_loaded_is_rotating(self, world):
+        inference = classify(world, "least-loaded")
+        assert inference.inferred == SelectorClass.ROTATING
+
+    def test_uniform_random_is_unpredictable(self, world):
+        inference = classify(world, "uniform-random")
+        assert inference.inferred == SelectorClass.UNPREDICTABLE
+        assert inference.is_unpredictable
+        # At least one n-probe trial missed a cache.
+        assert any(count < 4 for count in inference.determinism_trials)
+
+    def test_sticky_random_is_unpredictable(self, world):
+        inference = classify(world, "sticky-random")
+        assert inference.inferred == SelectorClass.UNPREDICTABLE
+
+    def test_source_ip_hash_detected(self, world):
+        inference = classify(world, "source-ip-hash", n_caches=6)
+        assert inference.inferred == SelectorClass.SOURCE_KEYED
+        assert inference.same_name_census == 1
+        assert inference.multi_source_census > 1
+
+    def test_qname_hash_reported_as_pinned(self, world):
+        inference = classify(world, "qname-hash", n_caches=6)
+        assert inference.inferred == \
+            SelectorClass.PINNED_PER_NAME_OR_SINGLE_CACHE
+        assert inference.multi_source_census == 1
+
+    def test_single_cache_matches_qname_hash_ambiguity(self, world):
+        """The documented equivalence: one cache and per-name pinning are
+        indistinguishable from a single vantage — same verdict."""
+        inference = classify(world, "uniform-random", n_caches=1)
+        assert inference.inferred == \
+            SelectorClass.PINNED_PER_NAME_OR_SINGLE_CACHE
+
+    def test_queries_accounted(self, world):
+        inference = classify(world, "uniform-random")
+        assert inference.queries_spent > 0
+
+    @pytest.mark.parametrize("selector,expected_unpredictable", [
+        ("round-robin", False),
+        ("uniform-random", True),
+        ("sticky-random", True),
+        ("least-loaded", False),
+    ])
+    def test_unpredictability_flag_matches_ground_truth(
+            self, world, selector, expected_unpredictable):
+        """The inferred class agrees with the selector's own taxonomy flag
+        (paper §IV-A's two categories)."""
+        inference = classify(world, selector)
+        assert inference.is_unpredictable == expected_unpredictable

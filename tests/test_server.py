@@ -1,0 +1,260 @@
+"""Tests for query logs, authoritative servers and the root hierarchy."""
+
+import pytest
+
+from repro.dns import (
+    DnsMessage,
+    RCode,
+    RRType,
+    a_record,
+    cname_record,
+    name,
+    ns_record,
+    parse_zone_text,
+    soa_record,
+)
+from repro.dns.zone import Zone
+from repro.net import ConstantLatency, LinkProfile, Network, NoLoss
+from repro.server import AuthoritativeServer, LogEntry, QueryLog, RootHierarchy
+
+
+def clean_profile():
+    return LinkProfile(latency=ConstantLatency(0.001), loss=NoLoss())
+
+
+# ---------------------------------------------------------------------------
+# QueryLog
+# ---------------------------------------------------------------------------
+
+
+class TestQueryLog:
+    @pytest.fixture
+    def log(self):
+        log = QueryLog()
+        entries = [
+            LogEntry(1.0, "10.0.1.1", name("a.example"), RRType.A),
+            LogEntry(2.0, "10.0.1.2", name("a.example"), RRType.A),
+            LogEntry(3.0, "10.0.1.1", name("b.sub.example"), RRType.TXT),
+            LogEntry(4.0, "10.0.1.3", name("a.example"), RRType.TXT),
+        ]
+        for entry in entries:
+            log.record(entry)
+        return log
+
+    def test_count_by_name(self, log):
+        assert log.count(qname=name("a.example")) == 3
+
+    def test_count_by_name_and_type(self, log):
+        assert log.count(qname=name("a.example"), qtype=RRType.A) == 2
+
+    def test_count_since(self, log):
+        assert log.count(qname=name("a.example"), since=2.5) == 1
+
+    def test_count_under_suffix(self, log):
+        assert log.count_under(name("sub.example")) == 1
+        assert log.count_under(name("example")) == 4
+
+    def test_sources(self, log):
+        assert log.sources(qname=name("a.example")) == \
+            {"10.0.1.1", "10.0.1.2", "10.0.1.3"}
+
+    def test_sources_with_suffix(self, log):
+        assert log.sources(suffix=name("sub.example")) == {"10.0.1.1"}
+
+    def test_qtype_histogram(self, log):
+        histogram = log.qtype_histogram()
+        assert histogram[RRType.A] == 2
+        assert histogram[RRType.TXT] == 2
+
+    def test_marks(self, log):
+        log.mark("checkpoint")
+        log.record(LogEntry(5.0, "10.0.1.9", name("c.example"), RRType.A))
+        after = log.since_mark("checkpoint")
+        assert len(after) == 1
+        assert after[0].src_ip == "10.0.1.9"
+
+    def test_unknown_mark_returns_everything(self, log):
+        assert len(log.since_mark("never-set")) == 4
+
+    def test_clear(self, log):
+        log.clear()
+        assert len(log) == 0
+
+
+# ---------------------------------------------------------------------------
+# AuthoritativeServer
+# ---------------------------------------------------------------------------
+
+
+def build_server(minimal_responses=False):
+    zone = parse_zone_text(
+        """
+        $ORIGIN cache.example
+        @ IN SOA ns.cache.example. admin.cache.example. 1 3600 600 86400 60
+        @ IN NS ns.cache.example.
+        ns IN A 203.0.113.53
+        host IN A 203.0.113.100
+        alias IN CNAME host.cache.example.
+        target-alias IN CNAME host.cache.example.
+        sub IN NS ns.sub.cache.example.
+        ns.sub IN A 203.0.113.99
+        """
+    )
+    server = AuthoritativeServer("test-ns", minimal_responses=minimal_responses)
+    server.add_zone(zone)
+    return server
+
+
+class TestAuthoritativeServer:
+    @pytest.fixture
+    def network(self):
+        network = Network()
+        network.register("203.0.113.53", build_server(), clean_profile())
+        return network
+
+    def ask(self, network, qname, qtype=RRType.A):
+        query = DnsMessage.make_query(name(qname), qtype)
+        return network.query("192.0.2.1", "203.0.113.53", query).response
+
+    def test_positive_answer(self, network):
+        response = self.ask(network, "host.cache.example")
+        assert response.rcode == RCode.NOERROR
+        assert response.authoritative
+        assert response.answers[0].rdata.address == "203.0.113.100"
+
+    def test_nxdomain_carries_soa(self, network):
+        response = self.ask(network, "missing.cache.example")
+        assert response.rcode == RCode.NXDOMAIN
+        assert any(record.rtype == RRType.SOA for record in response.authority)
+
+    def test_nodata_carries_soa(self, network):
+        response = self.ask(network, "host.cache.example", RRType.TXT)
+        assert response.rcode == RCode.NOERROR
+        assert not response.answers
+        assert any(record.rtype == RRType.SOA for record in response.authority)
+
+    def test_referral(self, network):
+        response = self.ask(network, "x.sub.cache.example")
+        assert response.is_referral()
+        assert not response.authoritative
+        glue = [record for record in response.additional
+                if record.rtype == RRType.A]
+        assert glue[0].rdata.address == "203.0.113.99"
+
+    def test_out_of_zone_refused(self, network):
+        response = self.ask(network, "www.other.example")
+        assert response.rcode == RCode.REFUSED
+
+    def test_full_response_chases_cname(self, network):
+        response = self.ask(network, "alias.cache.example")
+        types = [record.rtype for record in response.answers]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_minimal_response_withholds_target(self):
+        network = Network()
+        network.register("203.0.113.53", build_server(minimal_responses=True),
+                         clean_profile())
+        query = DnsMessage.make_query(name("alias.cache.example"), RRType.A)
+        response = network.query("192.0.2.1", "203.0.113.53", query).response
+        assert [record.rtype for record in response.answers] == [RRType.CNAME]
+
+    def test_query_log_records_source(self, network):
+        self.ask(network, "host.cache.example")
+        server = network.endpoint_at("203.0.113.53")
+        assert server.query_log.count(qname=name("host.cache.example")) == 1
+        assert server.query_log.sources() == {"192.0.2.1"}
+
+    def test_offline_server_is_silent(self):
+        network = Network()
+        server = build_server()
+        server.online = False
+        network.register("203.0.113.53", server, clean_profile())
+        query = DnsMessage.make_query(name("host.cache.example"), RRType.A)
+        from repro.dns import QueryTimeout
+
+        with pytest.raises(QueryTimeout):
+            network.query("192.0.2.1", "203.0.113.53", query,
+                          timeout=0.1, retries=0)
+
+    def test_edns_negotiation(self, network):
+        query = DnsMessage.make_query(name("host.cache.example"), RRType.A,
+                                      edns_payload_size=4096)
+        response = network.query("192.0.2.1", "203.0.113.53", query).response
+        assert response.edns_payload_size == 4096
+
+    def test_no_edns_when_client_lacks_it(self, network):
+        response = self.ask(network, "host.cache.example")
+        assert response.edns_payload_size is None
+
+    def test_most_specific_zone_wins(self):
+        server = build_server()
+        child = Zone("deep.cache.example")
+        child.add_record(soa_record(name("deep.cache.example"),
+                                    name("ns.cache.example"),
+                                    name("admin.cache.example")))
+        child.add_record(a_record(name("x.deep.cache.example"), "9.9.9.9"))
+        server.add_zone(child)
+        assert server.zone_for(name("x.deep.cache.example")).origin == \
+            name("deep.cache.example")
+
+
+# ---------------------------------------------------------------------------
+# RootHierarchy
+# ---------------------------------------------------------------------------
+
+
+class TestRootHierarchy:
+    @pytest.fixture
+    def network(self):
+        return Network()
+
+    def test_root_referral_to_tld(self, network):
+        hierarchy = RootHierarchy(network, profile=clean_profile())
+        hierarchy.ensure_tld("example")
+        query = DnsMessage.make_query(name("foo.example"), RRType.A,
+                                      recursion_desired=False)
+        response = network.query("192.0.2.1", hierarchy.root_ip, query).response
+        assert response.is_referral()
+        ns = response.authority_of_type(RRType.NS)
+        assert ns[0].name == name("example")
+
+    def test_ensure_tld_idempotent(self, network):
+        hierarchy = RootHierarchy(network, profile=clean_profile())
+        first = hierarchy.ensure_tld("example")
+        second = hierarchy.ensure_tld("example")
+        assert first is second
+
+    def test_non_tld_rejected(self, network):
+        hierarchy = RootHierarchy(network, profile=clean_profile())
+        with pytest.raises(ValueError):
+            hierarchy.ensure_tld("a.example")
+
+    def test_delegation_creates_referral_path(self, network):
+        hierarchy = RootHierarchy(network, profile=clean_profile())
+        child_zone = Zone("cache.example")
+        child_zone.add_record(soa_record(name("cache.example"),
+                                         name("ns.cache.example"),
+                                         name("admin.cache.example")))
+        child_zone.add_record(a_record(name("www.cache.example"), "7.7.7.7"))
+        child_server = AuthoritativeServer("child")
+        child_server.add_zone(child_zone)
+        network.register("203.0.113.53", child_server, clean_profile())
+        hierarchy.delegate("cache.example", "ns.cache.example", "203.0.113.53")
+
+        # Walk manually: root -> tld -> child.
+        query = DnsMessage.make_query(name("www.cache.example"), RRType.A,
+                                      recursion_desired=False)
+        root_resp = network.query("192.0.2.1", hierarchy.root_ip, query).response
+        assert root_resp.is_referral()
+        tld_ip = root_resp.additional[0].rdata.address
+        tld_resp = network.query("192.0.2.1", tld_ip, query).response
+        assert tld_resp.is_referral()
+        child_ip = tld_resp.additional[0].rdata.address
+        assert child_ip == "203.0.113.53"
+        final = network.query("192.0.2.1", child_ip, query).response
+        assert final.answers[0].rdata.address == "7.7.7.7"
+
+    def test_delegate_below_tld_required(self, network):
+        hierarchy = RootHierarchy(network, profile=clean_profile())
+        with pytest.raises(ValueError):
+            hierarchy.delegate("com", "ns.com", "1.1.1.1")

@@ -1,0 +1,91 @@
+"""Tests for the accuracy-analytics module."""
+
+import pytest
+
+from repro.study import (
+    AccuracyStats,
+    PlatformSpec,
+    accuracy_report,
+    selector_class_of,
+)
+from repro.study.measurement import PlatformMeasurement
+
+
+def measurement(selector="uniform-random", technique="direct",
+                true_caches=3, measured_caches=3,
+                true_egress=2, measured_egress=2, index=1):
+    spec = PlatformSpec(
+        population="open-resolvers", index=index, operator="op",
+        country="default", n_ingress=1, n_caches=true_caches,
+        n_egress=true_egress, selector_name=selector,
+    )
+    return PlatformMeasurement(
+        spec=spec, measured_caches=measured_caches,
+        measured_egress=measured_egress, queries_used=10,
+        technique=technique,
+    )
+
+
+class TestAccuracyStats:
+    def test_exact(self):
+        stats = AccuracyStats()
+        stats.add(3, 3)
+        stats.add(4, 4)
+        assert stats.exact_rate == 1.0
+        assert stats.mean_absolute_error == 0.0
+        assert stats.bias == 0.0
+
+    def test_under_and_over(self):
+        stats = AccuracyStats()
+        stats.add(2, 4)   # -2
+        stats.add(5, 4)   # +1
+        assert stats.undercounts == 1
+        assert stats.overcounts == 1
+        assert stats.mean_absolute_error == 1.5
+        assert stats.bias == -0.5
+
+    def test_empty(self):
+        stats = AccuracyStats()
+        assert stats.exact_rate == 0.0
+        assert stats.bias == 0.0
+
+
+class TestSelectorClassOf:
+    @pytest.mark.parametrize("name,klass", [
+        ("uniform-random", "unpredictable"),
+        ("sticky-random", "unpredictable"),
+        ("round-robin", "traffic-dependent"),
+        ("least-loaded", "traffic-dependent"),
+        ("qname-hash", "keyed"),
+        ("source-ip-hash", "keyed"),
+    ])
+    def test_taxonomy(self, name, klass):
+        assert selector_class_of(name) == klass
+
+
+class TestAccuracyReport:
+    def test_grouping(self):
+        rows = [
+            measurement(index=1),
+            measurement(selector="qname-hash", measured_caches=1, index=2),
+            measurement(technique="smtp", index=3),
+        ]
+        report = accuracy_report(rows)
+        assert report.cache_overall.count == 3
+        assert report.cache_by_selector_class["keyed"].exact == 0
+        assert report.cache_by_selector_class["unpredictable"].exact == 2
+        assert report.cache_by_technique["smtp"].count == 1
+
+    def test_predicate_filter(self):
+        rows = [measurement(index=1),
+                measurement(true_caches=9, measured_caches=9, index=2)]
+        report = accuracy_report(
+            rows, predicate=lambda row: row.true_caches < 5)
+        assert report.cache_overall.count == 1
+
+    def test_rows_rendering(self):
+        report = accuracy_report([measurement()])
+        rendered = report.rows()
+        assert rendered[0][0] == "caches / all"
+        assert rendered[-1][0] == "egress / all"
+        assert rendered[0][2] == "100%"

@@ -1,0 +1,152 @@
+"""Tests for the data-collection workflows and population measurement."""
+
+import pytest
+
+from repro.client import AdCampaign
+from repro.study import (
+    MeasurementBudget,
+    build_world,
+    classify_mechanism,
+    generate_population,
+    measure_population,
+    run_ad_collection,
+    run_smtp_collection,
+    scan_for_open_resolvers,
+)
+from repro.dns import RRType, name
+
+
+FAST_BUDGET = MeasurementBudget(confidence=0.95, max_enumeration_queries=200,
+                                min_egress_probes=16, max_egress_probes=64)
+
+
+class TestOpenResolverScan:
+    def test_scan_filters_closed_resolvers(self, world):
+        specs = generate_population("open-resolvers", 30, seed=2,
+                                    max_ingress=4, max_caches=3, max_egress=4)
+        result = scan_for_open_resolvers(world, specs, closed_fraction=0.5)
+        assert 0 < result.open_count < 30
+        assert result.open_count + result.refused == 30
+
+    def test_scan_limit(self, world):
+        specs = generate_population("open-resolvers", 30, seed=2,
+                                    max_ingress=4, max_caches=3, max_egress=4)
+        result = scan_for_open_resolvers(world, specs, closed_fraction=0.0,
+                                         limit=5)
+        assert result.open_count == 5
+
+    def test_open_platforms_actually_answer(self, world):
+        specs = generate_population("open-resolvers", 10, seed=3,
+                                    max_ingress=2, max_caches=2, max_egress=2)
+        result = scan_for_open_resolvers(world, specs, closed_fraction=0.4)
+        for hosted in result.open_platforms:
+            assert hosted.platform.config.open_to is None
+
+
+class TestSmtpCollection:
+    def test_classify_mechanism(self):
+        sender = name("probe-1.cache.example")
+        assert classify_mechanism(sender, sender, RRType.TXT) == "spf_txt"
+        assert classify_mechanism(sender, sender, RRType.SPF) == "spf_legacy"
+        assert classify_mechanism(sender, sender, RRType.MX) == "bounce_mx"
+        assert classify_mechanism(sender, sender.prepend("_dmarc"),
+                                  RRType.TXT) == "dmarc"
+        assert classify_mechanism(sender,
+                                  sender.prepend("_adsp", "_domainkey"),
+                                  RRType.TXT) == "adsp"
+        assert classify_mechanism(sender,
+                                  sender.prepend("default", "_domainkey"),
+                                  RRType.TXT) == "dkim"
+        assert classify_mechanism(sender, name("other.example"),
+                                  RRType.TXT) is None
+
+    def test_table1_shape(self):
+        """The regenerated Table I tracks the paper's fractions."""
+        world = build_world(seed=11, lossy_platforms=False)
+        specs = generate_population("email-servers", 150, seed=11,
+                                    max_egress=6, max_caches=3, max_ingress=4)
+        result = run_smtp_collection(world, specs)
+        assert result.domains_probed == 150
+        fractions = result.mechanism_fractions
+        assert abs(fractions["spf_txt"] - 0.696) < 0.12
+        assert abs(fractions["dmarc"] - 0.353) < 0.12
+        assert fractions["dkim"] < 0.05
+        assert fractions["spf_legacy"] < fractions["spf_txt"]
+
+    def test_table1_rows_ordered_like_paper(self, world):
+        specs = generate_population("email-servers", 10, seed=4,
+                                    max_egress=4, max_caches=2, max_ingress=2)
+        result = run_smtp_collection(world, specs)
+        labels = [label for label, _ in result.table1_rows()]
+        assert labels[0] == "Modern SPF queries (TXT qtype)"
+        assert labels[-1] == "MX/A queries for sending email server"
+
+
+class TestAdCollection:
+    def test_completion_yield(self):
+        world = build_world(seed=13, lossy_platforms=False)
+        specs = generate_population("ad-network", 5, seed=13, max_ingress=3,
+                                    max_caches=3, max_egress=5)
+        campaign = AdCampaign(rng=world.rng_factory.stream("campaign"))
+        result = run_ad_collection(world, specs, impressions=2000,
+                                   campaign=campaign)
+        assert result.impressions == 2000
+        # Paper: ~1:50 of 12K clients completed.
+        assert 0.008 < result.completion_rate < 0.035
+        assert len(result.probers) == result.completed
+        assert len(result.operators) == result.completed
+
+    def test_probers_are_usable(self, world):
+        specs = generate_population("ad-network", 2, seed=3, max_ingress=2,
+                                    max_caches=2, max_egress=3)
+        campaign = AdCampaign(script_load_rate=1.0, completion_rate=1.0,
+                              rng=world.rng_factory.stream("campaign"))
+        result = run_ad_collection(world, specs, impressions=3,
+                                   campaign=campaign)
+        prober = result.probers[0]
+        emitted = prober.trigger([world.cde.unique_name("ad")])
+        assert emitted == 1
+
+
+class TestMeasurePopulation:
+    @pytest.mark.parametrize("population", ["open-resolvers", "email-servers",
+                                            "ad-network"])
+    def test_measurement_accuracy(self, population):
+        """Across populations, the measured cache counts track ground truth
+        for the unpredictable-selector majority."""
+        world = build_world(seed=21, lossy_platforms=False)
+        specs = generate_population(population, 12, seed=21, max_ingress=6,
+                                    max_caches=6, max_egress=10)
+        rows = measure_population(world, specs, FAST_BUDGET)
+        assert len(rows) == 12
+        unpredictable = [row for row in rows
+                         if row.spec.selector_unpredictable]
+        exact = sum(1 for row in unpredictable
+                    if row.measured_caches == row.true_caches)
+        assert exact >= 0.75 * len(unpredictable)
+
+    def test_egress_census_accuracy(self):
+        world = build_world(seed=22, lossy_platforms=False)
+        specs = generate_population("open-resolvers", 10, seed=22,
+                                    max_ingress=4, max_caches=4, max_egress=8)
+        rows = measure_population(world, specs, FAST_BUDGET)
+        exact = sum(1 for row in rows
+                    if row.measured_egress == row.true_egress)
+        assert exact >= 8
+
+    def test_rows_carry_technique(self):
+        world = build_world(seed=23, lossy_platforms=False)
+        specs = generate_population("email-servers", 3, seed=23,
+                                    max_ingress=2, max_caches=2, max_egress=4)
+        rows = measure_population(world, specs, FAST_BUDGET)
+        assert all(row.technique == "smtp" for row in rows)
+
+    def test_ip_cache_pair_uses_measured_caches(self):
+        world = build_world(seed=24, lossy_platforms=False)
+        specs = generate_population("ad-network", 3, seed=24, max_ingress=3,
+                                    max_caches=3, max_egress=4)
+        rows = measure_population(world, specs, FAST_BUDGET)
+        for row in rows:
+            ips, caches = row.ip_cache_pair
+            assert ips == row.spec.n_ingress
+            assert caches == row.measured_caches

@@ -1,0 +1,78 @@
+"""Tests for the programmatic figure builders and CSV export."""
+
+import pytest
+
+from repro.study import (
+    FigureData,
+    MeasurementBudget,
+    build_world,
+    measurements_csv,
+    regenerate_all,
+    table1_csv,
+)
+
+SMALL_SIZES = {"open-resolvers": 5, "email-servers": 4, "ad-network": 4}
+SMALL_CAPS = {
+    "open-resolvers": dict(max_ingress=4, max_caches=3, max_egress=4),
+    "email-servers": dict(max_ingress=3, max_caches=3, max_egress=5),
+    "ad-network": dict(max_ingress=3, max_caches=3, max_egress=5),
+}
+
+
+@pytest.fixture(scope="module")
+def data() -> FigureData:
+    world = build_world(seed=71, lossy_platforms=False)
+    return regenerate_all(world, sizes=SMALL_SIZES, caps=SMALL_CAPS,
+                          budget=MeasurementBudget(),
+                          table1_domains=20, operator_draws=200, seed=71)
+
+
+class TestRegenerateAll:
+    def test_all_populations_measured(self, data):
+        assert set(data.measurements) == {"open-resolvers", "email-servers",
+                                          "ad-network"}
+        for population, size in SMALL_SIZES.items():
+            assert len(data.measurements[population]) == size
+
+    def test_series_shapes(self, data):
+        egress = data.egress_series()
+        caches = data.cache_series()
+        for population, size in SMALL_SIZES.items():
+            assert len(egress[population]) == size
+            assert len(caches[population]) == size
+            assert all(value >= 0 for value in egress[population])
+            assert all(value >= 0 for value in caches[population])
+
+    def test_bubbles_total(self, data):
+        bubbles = data.bubbles("open-resolvers")
+        assert sum(bubbles.values()) == SMALL_SIZES["open-resolvers"]
+
+    def test_ratio_breakdowns_normalised(self, data):
+        for breakdown in data.ratio_breakdowns().values():
+            assert sum(breakdown.as_dict().values()) == pytest.approx(1.0)
+
+    def test_table1_present(self, data):
+        assert data.table1 is not None
+        assert data.table1.domains_probed == 20
+        labels = [label for label, _ in data.table1.table1_rows()]
+        assert len(labels) == 6
+
+    def test_operator_tables(self, data):
+        for population, table in data.operator_tables.items():
+            assert table[-1][0] == "OTHER"
+            total = sum(share for _, share in table)
+            assert total == pytest.approx(100.0, abs=0.5)
+
+
+class TestCsvExport:
+    def test_measurements_csv(self, data):
+        text = measurements_csv(data)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("population,name,operator")
+        assert len(lines) == 1 + sum(SMALL_SIZES.values())
+
+    def test_table1_csv(self, data):
+        text = table1_csv(data)
+        lines = text.strip().splitlines()
+        assert lines[0] == "query_type,fraction"
+        assert len(lines) == 7

@@ -1,0 +1,122 @@
+"""Tests for the optional study phases, dual-stack probing, and adversarial
+cache conditions."""
+
+import pytest
+
+from repro.core import (
+    SelectorClass,
+    StudyParameters,
+    enumerate_direct,
+    map_ingress_to_clusters,
+    queries_for_confidence,
+)
+from repro.dns import RRType
+
+
+class TestOptionalStudyPhases:
+    def test_full_study_with_all_phases(self, world):
+        hosted = world.add_platform(n_ingress=2, n_caches=3, n_egress=2)
+        params = StudyParameters(infer_selector=True,
+                                 fingerprint_software=True,
+                                 timing_crosscheck=True)
+        report = world.study(hosted, parameters=params)
+        assert report.cache_count == 3
+        assert report.selector_inference is not None
+        assert report.selector_inference.inferred == \
+            SelectorClass.UNPREDICTABLE
+        assert report.fingerprints
+        assert report.timing is not None
+        assert report.timing.cache_count == 3
+        assert any("selector class" in note for note in report.notes)
+
+    def test_phases_off_by_default(self, world, multi_cache_platform):
+        report = world.study(multi_cache_platform)
+        assert report.selector_inference is None
+        assert report.fingerprints == []
+        assert report.timing is None
+
+    def test_selector_phase_on_rotating_platform(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1,
+                                    selector="round-robin")
+        report = world.study(hosted,
+                             parameters=StudyParameters(infer_selector=True))
+        assert report.selector_inference.inferred == SelectorClass.ROTATING
+
+    def test_fingerprint_phase_identifies_default_software(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        report = world.study(
+            hosted, parameters=StudyParameters(fingerprint_software=True))
+        assert any("bind9-like" in result.candidates
+                   for result in report.fingerprints)
+
+
+class TestDualStack:
+    def test_aaaa_wildcard_resolves(self, world, single_cache_platform):
+        result = world.prober.probe(
+            single_cache_platform.platform.ingress_ips[0],
+            world.cde.unique_name("v6"), RRType.AAAA)
+        assert result.delivered
+        assert result.transaction.response.answers
+        assert result.transaction.response.answers[0].rtype == RRType.AAAA
+
+    @pytest.mark.parametrize("n_caches", [1, 3])
+    def test_census_over_aaaa(self, world, n_caches):
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        budget = queries_for_confidence(n_caches, 0.999)
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=budget,
+                                  qtype=RRType.AAAA)
+        assert result.arrivals == n_caches
+
+    def test_a_and_aaaa_cached_independently(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("dual")
+        world.prober.probe(ingress, probe, RRType.A)
+        since = world.clock.now
+        world.prober.probe(ingress, probe, RRType.AAAA)
+        # The AAAA lookup is a separate cache entry: one new arrival.
+        assert world.cde.count_queries_for(probe, since=since,
+                                           qtype=RRType.AAAA) == 1
+
+
+class TestAdversarialCacheConditions:
+    def test_census_exact_under_tiny_caches(self, world):
+        """Capacity-starved caches evict constantly, but a single-name
+        census only needs the honey record to survive between two probes
+        of the same cache — and even evictions merely re-add arrivals from
+        the same cache, never invent new ones beyond... they CAN inflate:
+        the census is an upper bound under heavy eviction.  With a fresh
+        name and a short burst, tiny caches still measure exactly."""
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        for cache in hosted.platform.caches:
+            cache.capacity = 4
+        budget = queries_for_confidence(2, 0.999)
+        result = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=budget)
+        assert result.arrivals == 2
+
+    def test_eviction_can_inflate_census(self, world):
+        """If background traffic evicts the probe record mid-census, the
+        same cache fetches twice — the documented upper-bound caveat."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        cache = hosted.platform.caches[0]
+        cache.capacity = 1  # every other insert evicts the probe
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("evict")
+        since = world.clock.now
+        for index in range(6):
+            world.prober.probe(ingress, probe)
+            # Interleave unrelated traffic that evicts the probe record.
+            world.prober.probe(ingress, world.cde.unique_name("noise"))
+        arrivals = world.cde.count_queries_for(probe, since=since)
+        assert arrivals > 1  # inflated: eviction, not extra caches
+
+    def test_clustering_survives_small_caches(self, world):
+        hosted = world.add_platform(n_ingress=3, n_caches=2, n_egress=1)
+        for cache in hosted.platform.caches:
+            cache.capacity = 64
+        result = map_ingress_to_clusters(world.cde, world.prober,
+                                         hosted.platform.ingress_ips)
+        assert result.n_clusters == 1

@@ -1,0 +1,159 @@
+"""Tests for operator tables and population generators (paper §III, Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.study import (
+    AD_NETWORK_OPERATORS,
+    EMAIL_SERVER_OPERATORS,
+    OPEN_RESOLVER_OPERATORS,
+    POPULATIONS,
+    SELECTOR_MIX,
+    PopulationGenerator,
+    country_of_operator,
+    draw_operator,
+    generate_population,
+    top_n_table,
+)
+
+
+class TestOperatorTables:
+    def test_tables_sum_to_100(self):
+        for table in (OPEN_RESOLVER_OPERATORS, EMAIL_SERVER_OPERATORS,
+                      AD_NETWORK_OPERATORS):
+            assert sum(table.values()) == pytest.approx(100.0, abs=0.2)
+
+    def test_paper_top_operators_present(self):
+        assert OPEN_RESOLVER_OPERATORS["Aruba S.p.A."] == pytest.approx(9.597)
+        assert EMAIL_SERVER_OPERATORS["Google Inc."] == pytest.approx(24.211)
+        assert AD_NETWORK_OPERATORS[
+            "Comcast Cable Communications, Inc."] == pytest.approx(15.02)
+
+    def test_draw_respects_weights(self):
+        rng = random.Random(0)
+        draws = [draw_operator("email-servers", rng) for _ in range(4000)]
+        google = draws.count("Google Inc.") / len(draws)
+        assert abs(google - 0.242) < 0.03
+
+    def test_country_mapping(self):
+        rng = random.Random(0)
+        assert country_of_operator(
+            "Dadeh Gostar Asr Novin P.J.S. Co.", rng) == "IR"
+        assert country_of_operator(
+            "CNCGROUP IP network China169 Beijing", rng) == "CN"
+
+    def test_other_operators_mostly_default(self):
+        rng = random.Random(1)
+        countries = [country_of_operator("Aruba S.p.A.", rng)
+                     for _ in range(1000)]
+        assert countries.count("default") > 900
+
+    def test_top_n_table_aggregation(self):
+        labels = ["A"] * 5 + ["B"] * 3 + ["C"] * 2 + ["OTHER"] * 10
+        table = top_n_table(labels, n=2)
+        assert table[0] == ("A", 25.0)
+        assert table[1] == ("B", 15.0)
+        assert table[-1][0] == "OTHER"
+        assert table[-1][1] == 60.0  # C folded into OTHER
+
+
+class TestGenerators:
+    def test_unknown_population_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationGenerator("botnets")
+
+    def test_deterministic_per_seed(self):
+        first = generate_population("ad-network", 20, seed=9)
+        second = generate_population("ad-network", 20, seed=9)
+        assert first == second
+
+    def test_specs_have_unique_names(self):
+        specs = generate_population("open-resolvers", 50, seed=1)
+        assert len({spec.name for spec in specs}) == 50
+
+    def test_caps_applied(self):
+        specs = generate_population("open-resolvers", 200, seed=1,
+                                    max_caches=4, max_ingress=10,
+                                    max_egress=8)
+        assert all(spec.n_caches <= 4 for spec in specs)
+        assert all(spec.n_ingress <= 10 for spec in specs)
+        assert all(spec.n_egress <= 8 for spec in specs)
+
+    def test_selector_mix_sums_to_one(self):
+        assert sum(weight for _, weight in SELECTOR_MIX) == pytest.approx(1.0)
+
+    def test_unpredictable_majority(self):
+        """§IV-A: >80% of networks use unpredictable cache selection."""
+        for population in POPULATIONS:
+            specs = generate_population(population, 600, seed=3)
+            unpredictable = sum(spec.selector_unpredictable
+                                for spec in specs) / len(specs)
+            assert unpredictable > 0.75
+
+
+class TestPopulationShapes:
+    """The structural distributions behind Figures 3–8."""
+
+    def test_open_resolvers_mostly_single_single(self):
+        """Fig. 6: almost 70% of open-resolver networks are 1 IP/1 cache."""
+        specs = generate_population("open-resolvers", 800, seed=5)
+        single = sum(spec.is_single_single for spec in specs) / len(specs)
+        assert 0.6 < single < 0.8
+
+    def test_open_resolvers_egress_85pct_at_most_5(self):
+        """Fig. 3: 85% of open-resolver platforms use <= 5 egress IPs."""
+        specs = generate_population("open-resolvers", 800, seed=5)
+        small = sum(spec.n_egress <= 5 for spec in specs) / len(specs)
+        assert small > 0.8
+
+    def test_open_resolvers_have_giant_tail(self):
+        """Fig. 5's top-right circles: >500 IPs with >=30 caches exist."""
+        specs = generate_population("open-resolvers", 800, seed=5)
+        giants = [spec for spec in specs
+                  if spec.n_ingress >= 500 and spec.n_caches >= 30]
+        assert giants
+        assert len(giants) < 0.05 * len(specs)
+
+    def test_enterprises_half_above_20_egress(self):
+        """Fig. 3: 50% of enterprise platforms use more than 20 IPs."""
+        specs = generate_population("email-servers", 800, seed=5)
+        big = sum(spec.n_egress > 20 for spec in specs) / len(specs)
+        assert 0.4 < big < 0.6
+
+    def test_enterprises_65pct_1_to_4_caches(self):
+        """Fig. 4: 65% of enterprise networks use 1-4 caches."""
+        specs = generate_population("email-servers", 800, seed=5)
+        small = sum(1 <= spec.n_caches <= 4 for spec in specs) / len(specs)
+        assert 0.55 < small < 0.8
+
+    def test_enterprises_rarely_single_single(self):
+        """Fig. 6: <5% of enterprises use a single address and cache."""
+        specs = generate_population("email-servers", 800, seed=5)
+        single = sum(spec.is_single_single for spec in specs) / len(specs)
+        assert single < 0.07
+
+    def test_isps_half_above_11_egress(self):
+        """Fig. 3: 50% of ISP platforms use more than 11 IP addresses."""
+        specs = generate_population("ad-network", 800, seed=5)
+        big = sum(spec.n_egress > 11 for spec in specs) / len(specs)
+        assert 0.4 < big < 0.6
+
+    def test_isps_60pct_1_to_3_caches(self):
+        """Fig. 4: about 60% of ISP platforms use 1-3 caches."""
+        specs = generate_population("ad-network", 800, seed=5)
+        small = sum(1 <= spec.n_caches <= 3 for spec in specs) / len(specs)
+        assert 0.5 < small < 0.72
+
+    def test_isps_under_10pct_single_single(self):
+        """Fig. 6: less than 10% of ISP networks use 1 IP and 1 cache."""
+        specs = generate_population("ad-network", 800, seed=5)
+        single = sum(spec.is_single_single for spec in specs) / len(specs)
+        assert single < 0.11
+
+    def test_isps_majority_multi_multi(self):
+        """Fig. 6: almost 65% of ISPs use >1 address and >1 cache."""
+        specs = generate_population("ad-network", 800, seed=5)
+        multi = sum(spec.n_ingress > 1 and spec.n_caches > 1
+                    for spec in specs) / len(specs)
+        assert multi > 0.55

@@ -1,0 +1,134 @@
+"""Tests for the figure statistics and ASCII rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.study import (
+    RatioBreakdown,
+    bubble_counts,
+    cdf_at,
+    cdf_points,
+    format_bubbles,
+    format_cdf_series,
+    format_fractions,
+    format_ratio_breakdown,
+    format_table,
+    fraction_above,
+    fraction_at_most,
+    median,
+    ratio_breakdown,
+    snap_to_bin,
+)
+
+
+class TestCdf:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_points(self):
+        points = cdf_points([1, 1, 2, 4])
+        assert points == [(1, 0.5), (2, 0.75), (4, 1.0)]
+
+    def test_last_point_is_one(self):
+        points = cdf_points([3, 9, 9, 27])
+        assert points[-1][1] == 1.0
+
+    def test_fraction_at_most(self):
+        values = [1, 2, 3, 4]
+        assert fraction_at_most(values, 2) == 0.5
+        assert fraction_at_most(values, 0) == 0.0
+        assert fraction_at_most([], 5) == 0.0
+
+    def test_fraction_above(self):
+        assert fraction_above([1, 2, 3, 4], 2) == 0.5
+
+    def test_cdf_at_grid(self):
+        grid = cdf_at([1, 2, 3, 4], [2, 4])
+        assert grid == [(2, 0.5), (4, 1.0)]
+
+    def test_median(self):
+        assert median([5]) == 5
+        assert median([1, 3]) == 2
+        assert median([1, 2, 9]) == 2
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_cdf_monotone(self, values):
+        points = cdf_points(values)
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+class TestBubbles:
+    def test_snap_to_bin(self):
+        assert snap_to_bin(1) == 1
+        assert snap_to_bin(4) == 3
+        assert snap_to_bin(700) == 500
+        assert snap_to_bin(9999) == 1000
+
+    def test_bubble_counts(self):
+        counts = bubble_counts([(1, 1), (1, 1), (4, 2), (600, 35)])
+        assert counts[(1, 1)] == 2
+        assert counts[(3, 2)] == 1
+        assert counts[(500, 20)] == 1
+
+    def test_total_preserved(self):
+        pairs = [(i, i) for i in range(1, 50)]
+        counts = bubble_counts(pairs)
+        assert sum(counts.values()) == len(pairs)
+
+
+class TestRatioBreakdown:
+    def test_categories(self):
+        pairs = [(1, 1), (1, 3), (5, 1), (5, 5)]
+        breakdown = ratio_breakdown(pairs)
+        assert breakdown.single_ip_single_cache == 0.25
+        assert breakdown.single_ip_multi_cache == 0.25
+        assert breakdown.multi_ip_single_cache == 0.25
+        assert breakdown.multi_ip_multi_cache == 0.25
+
+    def test_fractions_sum_to_one(self):
+        pairs = [(i % 3 + 1, i % 4 + 1) for i in range(37)]
+        breakdown = ratio_breakdown(pairs)
+        total = sum(breakdown.as_dict().values())
+        assert total == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        breakdown = ratio_breakdown([])
+        assert sum(breakdown.as_dict().values()) == 0.0
+
+
+class TestRenderers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2], [333, 4]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_format_cdf_series(self):
+        text = format_cdf_series({"open": [1, 2, 5], "isp": [10, 20]},
+                                 xs=[1, 5, 20], x_label="egress IPs")
+        assert "egress IPs" in text
+        assert "open" in text and "isp" in text
+        assert "100.0" in text  # everything <= 20 for both series
+
+    def test_format_bubbles_sorted_by_size(self):
+        text = format_bubbles({(1, 1): 10, (5, 2): 3})
+        lines = text.splitlines()
+        first_data_line = lines[2]
+        assert "10" in first_data_line
+
+    def test_format_ratio_breakdown(self):
+        breakdown = RatioBreakdown(0.7, 0.1, 0.1, 0.1)
+        text = format_ratio_breakdown({"open": breakdown})
+        assert "70.0%" in text
+        assert "1 IP / 1 cache" in text
+
+    def test_format_fractions(self):
+        text = format_fractions({"DMARC": 0.353}, label="qtype")
+        assert "35.3%" in text and "DMARC" in text

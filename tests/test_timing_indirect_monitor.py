@@ -1,0 +1,122 @@
+"""Tests for the fully indirect timing census and the platform monitor."""
+
+import pytest
+
+from repro.core import (
+    ChangeKind,
+    PlatformMonitor,
+    enumerate_by_timing_indirect,
+    split_bimodal,
+)
+
+
+class TestSplitBimodal:
+    def test_clean_split(self):
+        threshold, slow = split_bimodal([0.01, 0.012, 0.011, 0.05, 0.055])
+        assert 0.012 < threshold < 0.05
+        assert slow == 2
+
+    def test_single_sample(self):
+        assert split_bimodal([0.01]) == (float("inf"), 0)
+
+    def test_empty(self):
+        assert split_bimodal([]) == (float("inf"), 0)
+
+    def test_all_slow_side_when_one_fast(self):
+        threshold, slow = split_bimodal([0.01, 0.09, 0.10, 0.11])
+        assert slow == 3
+
+    def test_largest_gap_wins(self):
+        # Gaps: 0.01 (a-b), 0.2 (b-c), 0.05 (c-d) -> split between b and c.
+        _, slow = split_bimodal([0.1, 0.11, 0.31, 0.36])
+        assert slow == 2
+
+
+class TestIndirectTiming:
+    @pytest.mark.parametrize("n_caches", [1, 2, 4])
+    def test_counts_through_browser_only(self, world, n_caches):
+        """§IV-B3 fully indirect: no direct DNS query, no log access."""
+        hosted = world.add_platform(n_ingress=1, n_caches=n_caches,
+                                    n_egress=1)
+        browser = world.make_browser(hosted)
+        queries_before = world.prober.queries_sent
+        result = enumerate_by_timing_indirect(world.cde, browser, q=40)
+        assert world.prober.queries_sent == queries_before  # truly indirect
+        assert result.slow_count == n_caches
+        assert result.cache_count == n_caches
+
+    def test_needs_two_probes(self, world, single_cache_platform):
+        browser = world.make_browser(single_cache_platform)
+        with pytest.raises(ValueError):
+            enumerate_by_timing_indirect(world.cde, browser, q=1)
+
+    def test_samples_exclude_local_cache_hits(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        browser = world.make_browser(hosted)
+        result = enumerate_by_timing_indirect(world.cde, browser, q=20)
+        assert len(result.samples) == 20  # all leaves were fresh
+
+
+class TestPlatformMonitor:
+    def test_stable_platform_no_events(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=2)
+        monitor = PlatformMonitor(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0],
+                                  interval=1800.0)
+        snapshots = monitor.run(rounds=3)
+        assert len(snapshots) == 3
+        assert all(snap.cache_count == 3 for snap in snapshots)
+        assert monitor.stable
+
+    def test_detects_cache_failure_and_recovery(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        monitor = PlatformMonitor(world.cde, world.prober, ingress,
+                                  interval=600.0)
+        monitor.observe()
+        hosted.platform.take_cache_offline(1)
+        hosted.platform.take_cache_offline(2)
+        world.clock.advance(600)
+        degraded = monitor.observe()
+        assert degraded.cache_count == 2
+        hosted.platform.bring_cache_online(1)
+        hosted.platform.bring_cache_online(2)
+        world.clock.advance(600)
+        recovered = monitor.observe()
+        assert recovered.cache_count == 4
+        decreases = monitor.events_of(ChangeKind.CACHES_DECREASED)
+        increases = monitor.events_of(ChangeKind.CACHES_INCREASED)
+        assert len(decreases) == 1 and decreases[0].after == 2
+        assert len(increases) == 1 and increases[0].after == 4
+
+    def test_detects_egress_drift(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=3)
+        ingress = hosted.platform.ingress_ips[0]
+        monitor = PlatformMonitor(world.cde, world.prober, ingress,
+                                  interval=600.0, egress_probes=40)
+        monitor.observe()
+        removed_ip = hosted.platform.config.egress_ips.pop()
+        world.clock.advance(600)
+        monitor.observe()
+        events = monitor.events_of(ChangeKind.EGRESS_REMOVED)
+        assert len(events) == 1
+        assert removed_ip in events[0].before
+        assert removed_ip not in events[0].after
+
+    def test_events_describe(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        monitor = PlatformMonitor(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0])
+        monitor.observe()
+        hosted.platform.take_cache_offline(0)
+        world.clock.advance(3600)
+        monitor.observe()
+        assert "caches-decreased" in monitor.events[0].describe()
+
+    def test_validation(self, world, single_cache_platform):
+        ingress = single_cache_platform.platform.ingress_ips[0]
+        with pytest.raises(ValueError):
+            PlatformMonitor(world.cde, world.prober, ingress, interval=0)
+        monitor = PlatformMonitor(world.cde, world.prober, ingress)
+        with pytest.raises(ValueError):
+            monitor.run(rounds=0)

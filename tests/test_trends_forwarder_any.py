@@ -1,0 +1,127 @@
+"""Tests for adoption trends, forwarder masking, and ANY-query handling."""
+
+import pytest
+
+from repro.cache import DnsCache
+from repro.core import enumerate_direct, queries_for_confidence
+from repro.dns import LookupKind, RRType, name
+from repro.resolver import ForwardingResolver
+from repro.study import EvolutionModel, TrendStudy
+
+
+class TestTrendStudy:
+    def build(self, world, count=6, edns_start=False):
+        platforms = []
+        for _ in range(count):
+            hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+            if not edns_start:
+                hosted.platform.config.edns_payload_size = None
+            platforms.append(hosted)
+        return platforms
+
+    def test_adoption_curve_monotone_and_accurate(self, world):
+        platforms = self.build(world)
+        study = TrendStudy(world, platforms,
+                           EvolutionModel(edns_enable_probability=0.5,
+                                          cache_growth_probability=0.0))
+        rounds = study.run(rounds=5)
+        measured = [round_.measured_edns_adoption for round_ in rounds]
+        truth = [round_.true_edns_adoption for round_ in rounds]
+        assert measured == truth            # the survey is exact
+        assert measured == sorted(measured)  # adoption only grows
+        assert measured[0] == 0.0
+        assert measured[-1] > 0.5
+
+    def test_cache_growth_tracked(self, world):
+        platforms = self.build(world, edns_start=True)
+        study = TrendStudy(world, platforms,
+                           EvolutionModel(edns_enable_probability=0.0,
+                                          cache_growth_probability=0.6,
+                                          max_caches=6))
+        rounds = study.run(rounds=4)
+        assert rounds[-1].true_mean_caches > rounds[0].true_mean_caches
+        for round_ in rounds:
+            assert round_.measured_mean_caches == pytest.approx(
+                round_.true_mean_caches, abs=0.35)
+
+    def test_grown_caches_actually_serve(self, world):
+        """Evolution must produce working platforms, not just bigger
+        numbers: the census keeps matching after growth."""
+        platforms = self.build(world, count=2, edns_start=True)
+        study = TrendStudy(world, platforms,
+                           EvolutionModel(cache_growth_probability=1.0,
+                                          max_caches=4))
+        study.run(rounds=3)
+        hosted = platforms[0]
+        assert hosted.platform.n_caches == 4
+        budget = queries_for_confidence(4, 0.999)
+        census = enumerate_direct(world.cde, world.prober,
+                                  hosted.platform.ingress_ips[0], q=budget)
+        assert census.arrivals == 4
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            TrendStudy(world, [])
+        with pytest.raises(ValueError):
+            EvolutionModel(edns_enable_probability=1.5)
+        platforms = self.build(world, count=1)
+        with pytest.raises(ValueError):
+            TrendStudy(world, platforms).run(rounds=0)
+
+
+class TestForwarderMasking:
+    """§VI: 'the client will only see the forwarder whose sole
+    functionality is to relay queries, while the complex caching logic is
+    performed by the upstream cache.'"""
+
+    def build_forwarder(self, world, hosted, with_cache):
+        forwarder = ForwardingResolver(
+            name="fw", listen_ip="10.210.0.1",
+            upstream_ips=[hosted.platform.ingress_ips[0]],
+            network=world.network,
+            cache=DnsCache(cache_id="fw") if with_cache else None)
+        forwarder.attach()
+        return forwarder
+
+    def test_caching_forwarder_masks_upstream_pool(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        forwarder = self.build_forwarder(world, hosted, with_cache=True)
+        budget = queries_for_confidence(4, 0.999)
+        census = enumerate_direct(world.cde, world.prober,
+                                  forwarder.listen_ip, q=budget)
+        # The forwarder's cache absorbs every repeat: one cache visible.
+        assert census.arrivals == 1
+
+    def test_pure_relay_exposes_upstream_pool(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=4, n_egress=1)
+        forwarder = self.build_forwarder(world, hosted, with_cache=False)
+        budget = queries_for_confidence(4, 0.999)
+        census = enumerate_direct(world.cde, world.prober,
+                                  forwarder.listen_ip, q=budget)
+        # Every probe passes through: the upstream pool is fully counted.
+        assert census.arrivals == 4
+
+
+class TestAnyQueries:
+    def test_zone_any_returns_all_types(self, world):
+        owner = world.cde.unique_name("anyq")
+        world.cde.add_a_record(owner)
+        from repro.dns import txt_record
+
+        world.cde.zone.add_record(txt_record(owner, "hello"))
+        result = world.cde.zone.lookup(owner, RRType.ANY)
+        types = {record.rtype for record in result.records}
+        assert {RRType.A, RRType.TXT} <= types
+
+    def test_any_on_missing_name_under_leaf(self, world):
+        missing = world.cde.ns_name.prepend("anyq-missing")
+        result = world.cde.zone.lookup(missing, RRType.ANY)
+        assert result.kind == LookupKind.NXDOMAIN
+
+    def test_any_through_platform(self, world, single_cache_platform):
+        owner = world.cde.unique_name("anyq2")
+        world.cde.add_a_record(owner)
+        result = world.prober.probe(
+            single_cache_platform.platform.ingress_ips[0], owner, RRType.ANY)
+        assert result.delivered
+        assert result.transaction.response.answers

@@ -1,0 +1,141 @@
+"""Wire-fidelity integration and failure-injection tests.
+
+Wire fidelity routes every message of a full study through the real
+RFC 1035 codec, proving that all generated traffic — referrals with glue,
+CNAME chains, negative answers, EDNS — survives genuine encoding.
+
+The failure-injection tests exercise the measurement pipeline when the
+world misbehaves mid-study: authoritative servers going dark, caches dying
+between phases, records expiring mid-census.
+"""
+
+import pytest
+
+from repro.core import (
+    enumerate_direct,
+    enumerate_indirect_hierarchy,
+    queries_for_confidence,
+)
+from repro.dns import QueryTimeout, RCode
+from repro.study import SimulatedInternet, WorldConfig
+
+
+@pytest.fixture
+def wire_world():
+    return SimulatedInternet(WorldConfig(seed=17, lossy_platforms=False,
+                                         wire_fidelity=True))
+
+
+class TestWireFidelity:
+    def test_full_study_over_real_wire(self, wire_world):
+        hosted = wire_world.add_platform(n_ingress=2, n_caches=3, n_egress=2)
+        report = wire_world.study(hosted)
+        assert report.cache_count == 3
+        assert report.n_egress_ips == 2
+        assert report.n_ingress_clusters == 1
+
+    def test_hierarchy_bypass_over_real_wire(self, wire_world):
+        """Referral responses (NS + glue in authority/additional) must
+        survive encoding with name compression intact."""
+        hosted = wire_world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        prober = wire_world.make_browser_prober(hosted)
+        result = enumerate_indirect_hierarchy(wire_world.cde, prober, q=16)
+        assert result.arrivals == 2
+
+    def test_negative_answers_over_real_wire(self, wire_world):
+        hosted = wire_world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        missing = wire_world.cde.ns_name.prepend("nothing")
+        result = wire_world.prober.probe(ingress, missing)
+        assert result.transaction.response.rcode == RCode.NXDOMAIN
+
+    def test_edns_over_real_wire(self, wire_world):
+        from repro.core import probe_platform_edns
+
+        hosted = wire_world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        observation = probe_platform_edns(wire_world.cde, wire_world.prober,
+                                          hosted.platform.ingress_ips[0])
+        assert observation.supports_edns
+        assert observation.advertised_size == 4096
+
+    def test_smtp_flow_over_real_wire(self, wire_world):
+        from repro.client import SmtpAuthPolicy
+        from repro.core import enumerate_indirect_cname
+
+        hosted = wire_world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        prober = wire_world.make_smtp_prober(
+            "corp.example", hosted,
+            SmtpAuthPolicy(checks_spf_txt=True, resolves_bounce_mx=True))
+        result = enumerate_indirect_cname(wire_world.cde, prober, q=16,
+                                          count_qtype=None)
+        assert result.arrivals == 2
+
+
+class TestFailureInjection:
+    def test_authoritative_outage_yields_servfail(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        world.cde.server.online = False
+        result = world.prober.probe(ingress, world.cde.unique_name("out"))
+        # The platform exhausts its authorities and reports SERVFAIL.
+        assert result.delivered
+        assert result.transaction.response.rcode == RCode.SERVFAIL
+
+    def test_cached_answers_survive_authoritative_outage(self, world):
+        """The point of caches: data outlives its origin."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("survive")
+        world.prober.probe(ingress, probe)
+        world.cde.server.online = False
+        result = world.prober.probe(ingress, probe)
+        assert result.transaction.response.rcode == RCode.NOERROR
+        assert result.transaction.response.answers
+
+    def test_authoritative_recovery(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        world.cde.server.online = False
+        world.prober.probe(ingress, world.cde.unique_name("down"))
+        world.cde.server.online = True
+        result = world.prober.probe(ingress, world.cde.unique_name("up"))
+        assert result.transaction.response.rcode == RCode.NOERROR
+
+    def test_cache_dies_between_census_phases(self, world):
+        """A cache going down mid-study shows up as a shrunken census —
+        exactly the §II-B monitoring signal."""
+        hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        budget = queries_for_confidence(3, 0.999)
+        before = enumerate_direct(world.cde, world.prober, ingress, q=budget)
+        assert before.arrivals == 3
+        hosted.platform.take_cache_offline(1)
+        after = enumerate_direct(world.cde, world.prober, ingress, q=budget)
+        assert after.arrivals == 2
+
+    def test_census_probe_expiring_mid_run(self, world):
+        """A probe record whose TTL lapses mid-census re-fetches: the
+        census must be read as an upper bound when probing spans the TTL."""
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        ingress = hosted.platform.ingress_ips[0]
+        probe = world.cde.unique_name("midrun")
+        world.cde.add_a_record(probe, ttl=5)
+        result = enumerate_direct(world.cde, world.prober, ingress, q=12,
+                                  probe_name=probe, pace=1.0)
+        assert result.arrivals > 1  # inflated by expiry, not by caches
+
+    def test_subzone_nameserver_outage_breaks_hierarchy_leaves(self, world):
+        hosted = world.add_platform(n_ingress=1, n_caches=1, n_egress=1)
+        hierarchy = world.cde.setup_names_hierarchy(q=2)
+        hierarchy.server.online = False
+        result = world.prober.probe(hosted.platform.ingress_ips[0],
+                                    hierarchy.names[0])
+        assert result.transaction.response.rcode == RCode.SERVFAIL
+
+    def test_black_hole_platform_times_out(self, world):
+        from repro.study import SinkEndpoint
+
+        dead = "10.250.0.1"
+        world.network.register(dead, SinkEndpoint())
+        with pytest.raises(QueryTimeout):
+            world.prober.query(dead, world.cde.unique_name("void"))
