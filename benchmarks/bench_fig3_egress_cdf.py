@@ -11,9 +11,11 @@ from the generator configs.
 
 from conftest import BENCH_BUDGET, BENCH_CAPS, BENCH_POPULATION_SIZES, run_once
 
+from repro.net.perf import PerfCounters, track
 from repro.study import (
     build_world,
     format_cdf_series,
+    format_perf,
     fraction_above,
     fraction_at_most,
     generate_population,
@@ -25,19 +27,22 @@ def test_fig3_egress_cdf(benchmark):
     def workload():
         world = build_world(seed=301, lossy_platforms=False)
         series = {}
+        perf = PerfCounters()
         for population, count in BENCH_POPULATION_SIZES.items():
             specs = generate_population(population, count, seed=301,
                                         **BENCH_CAPS[population])
-            rows = measure_population(world, specs, BENCH_BUDGET)
+            with track(world, perf=perf, platforms=len(specs)):
+                rows = measure_population(world, specs, BENCH_BUDGET)
             series[population] = [row.measured_egress for row in rows]
-        return series
+        return series, perf
 
-    series = run_once(benchmark, workload)
+    series, perf = run_once(benchmark, workload)
     print()
     print(format_cdf_series(series, xs=[1, 2, 5, 11, 20, 40, 60],
                             title="Figure 3 — egress IPs per platform (CDF, "
                                   "measured by the CDE census)",
                             x_label="egress IPs"))
+    print(format_perf(perf))
     print("paper anchors: open 85% <=5; isp 50% >11; email 50% >20")
 
     open_small = fraction_at_most(series["open-resolvers"], 5)

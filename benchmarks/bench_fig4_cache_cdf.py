@@ -9,9 +9,11 @@ CNAME-chain bypass through SMTP servers and browsers for the other two.
 
 from conftest import BENCH_BUDGET, BENCH_CAPS, BENCH_POPULATION_SIZES, run_once
 
+from repro.net.perf import PerfCounters, track
 from repro.study import (
     build_world,
     format_cdf_series,
+    format_perf,
     fraction_at_most,
     generate_population,
     measure_population,
@@ -22,19 +24,22 @@ def test_fig4_cache_cdf(benchmark):
     def workload():
         world = build_world(seed=401, lossy_platforms=False)
         series = {}
+        perf = PerfCounters()
         for population, count in BENCH_POPULATION_SIZES.items():
             specs = generate_population(population, count, seed=401,
                                         **BENCH_CAPS[population])
-            rows = measure_population(world, specs, BENCH_BUDGET)
+            with track(world, perf=perf, platforms=len(specs)):
+                rows = measure_population(world, specs, BENCH_BUDGET)
             series[population] = [row.measured_caches for row in rows]
-        return series
+        return series, perf
 
-    series = run_once(benchmark, workload)
+    series, perf = run_once(benchmark, workload)
     print()
     print(format_cdf_series(series, xs=[1, 2, 3, 4, 6, 8, 12],
                             title="Figure 4 — caches per platform (CDF, "
                                   "measured)",
                             x_label="caches"))
+    print(format_perf(perf))
     open_12 = fraction_at_most(series["open-resolvers"], 2)
     isp_13 = fraction_at_most(series["ad-network"], 3)
     email_14 = fraction_at_most(series["email-servers"], 4)

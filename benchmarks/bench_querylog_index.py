@@ -1,0 +1,81 @@
+"""Micro-bench: indexed vs full-scan ``QueryLog.count`` lookups.
+
+Counting arrivals per probe name is the methodology's innermost loop
+(§IV-A: "observing and counting the number of queries arriving at our
+nameservers").  The seed implementation scanned the whole log per lookup,
+so a sweep's lookup cost grew with everything every *other* platform had
+already logged.  The incremental indexes make ``count(qname=...)`` touch
+only that name's entries.
+
+The bench times a fixed batch of lookups against logs of growing size and
+asserts the indexed lookup cost is sub-linear in log size: growing the
+log 16x must grow indexed lookup time far less than the full-scan mode
+(which legitimately scales ~16x).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.dns.name import DnsName
+from repro.dns.rrtype import RRType
+from repro.server.querylog import LogEntry, QueryLog
+
+LOG_SIZES = (2_000, 8_000, 32_000)
+LOOKUPS = 400
+
+
+def _build_log(size: int, indexed: bool) -> tuple[QueryLog, list[DnsName]]:
+    log = QueryLog(indexed=indexed)
+    names = [DnsName.from_text(f"probe-{i % 500}.cde.example.")
+             for i in range(size)]
+    for position, qname in enumerate(names):
+        log.record(LogEntry(timestamp=float(position),
+                            src_ip=f"10.0.{position % 250}.1",
+                            qname=qname, qtype=RRType.A))
+    return log, names
+
+
+def _time_lookups(log: QueryLog, names: list[DnsName]) -> float:
+    targets = names[:: max(1, len(names) // LOOKUPS)][:LOOKUPS]
+    started = time.perf_counter()
+    total = 0
+    for qname in targets:
+        total += log.count(qname=qname)
+    elapsed = time.perf_counter() - started
+    assert total > 0
+    return elapsed
+
+
+def test_bench_querylog_count_sublinear(benchmark):
+    def workload():
+        timings: dict[str, dict[int, float]] = {"indexed": {}, "scan": {}}
+        for size in LOG_SIZES:
+            for mode, indexed in (("indexed", True), ("scan", False)):
+                log, names = _build_log(size, indexed=indexed)
+                timings[mode][size] = _time_lookups(log, names)
+        return timings
+
+    timings = run_once(benchmark, workload)
+
+    small, large = LOG_SIZES[0], LOG_SIZES[-1]
+    size_ratio = large / small
+    indexed_growth = timings["indexed"][large] / timings["indexed"][small]
+    scan_growth = timings["scan"][large] / timings["scan"][small]
+
+    print()
+    print(f"{LOOKUPS} count(qname=...) lookups per log size:")
+    for size in LOG_SIZES:
+        print(f"  {size:>6} entries: indexed {timings['indexed'][size]:.4f}s"
+              f"  full-scan {timings['scan'][size]:.4f}s")
+    print(f"log grew {size_ratio:.0f}x -> indexed lookups "
+          f"{indexed_growth:.1f}x, full-scan {scan_growth:.1f}x")
+
+    # Sub-linear: a 16x bigger log must cost far less than 16x per lookup.
+    assert indexed_growth < size_ratio / 2, (
+        f"indexed count() grew {indexed_growth:.1f}x over a "
+        f"{size_ratio:.0f}x log — not sub-linear")
+    # And it must actually beat the full scan at scale.
+    assert timings["indexed"][large] < timings["scan"][large]

@@ -1,0 +1,160 @@
+"""Scaling bench: the sharded parallel engine vs the sequential sweep.
+
+Five legs over the same open-resolver population (the paper's largest
+dataset, §V-A):
+
+* ``seed-sequential``   — one shared world with ``indexed_logs=False``:
+  the seed implementation's full-scan query log, measured sequentially.
+* ``sequential-indexed`` — the same shared world with the incremental
+  query-log indexes (what a plain ``measure_population`` does today).
+* ``shards-inprocess``  — the shard plan executed in-process (workers=0).
+* ``workers-1/2/4``     — the same shard plan on real worker processes.
+
+The shard plan is fixed (8 shards) independent of the worker count, so
+every parallel leg must produce byte-identical rows; the two shared-world
+legs must agree with each other (indexing is behaviour-preserving).  The
+bench asserts both, records every leg's wall time and throughput to
+``BENCH_scaling.json`` at the repo root, and requires the 4-worker leg to
+beat the seed-equivalent baseline by at least 2x.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-scale smoke run (small
+population; the speedup is recorded but not asserted — the crossover
+where log scans dominate needs hundreds of platforms).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.study import (
+    DEFAULT_SHARDS,
+    MeasurementBudget,
+    WorldConfig,
+    build_world,
+    generate_population,
+    measure_population,
+    run_parallel_measurement,
+)
+
+from conftest import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Hundreds of platforms so the shared log's full scans dominate the
+#: seed-equivalent leg (scan cost grows quadratically with population).
+POPULATION_SIZE = 48 if SMOKE else 720
+CAPS = dict(max_ingress=600, max_caches=24, max_egress=40)
+BUDGET = MeasurementBudget(confidence=0.95, max_enumeration_queries=320,
+                           egress_probe_factor=3.0, min_egress_probes=16,
+                           max_egress_probes=192)
+SEED = 0
+WORKER_COUNTS = (1, 2, 4)
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+
+def _row_key(rows):
+    """The measured content of a sweep, for equality checks."""
+    return [(row.spec.name, row.measured_caches, row.measured_egress,
+             row.queries_used, row.technique) for row in rows]
+
+
+def _sequential_leg(name: str, indexed_logs: bool, specs):
+    world = build_world(seed=SEED, indexed_logs=indexed_logs)
+    started = time.perf_counter()
+    rows = measure_population(world, specs, BUDGET)
+    wall = time.perf_counter() - started
+    queries = world.prober.queries_sent
+    return {
+        "leg": name,
+        "wall_seconds": wall,
+        "queries_sent": queries,
+        "queries_per_second": queries / wall if wall else 0.0,
+        "platforms": len(rows),
+    }, rows
+
+
+def _parallel_leg(name: str, workers: int, specs):
+    started = time.perf_counter()
+    result = run_parallel_measurement(
+        specs, base_seed=SEED, workers=workers, n_shards=DEFAULT_SHARDS,
+        config=WorldConfig(seed=SEED), budget=BUDGET)
+    wall = time.perf_counter() - started
+    return {
+        "leg": name,
+        "workers": workers,
+        "n_shards": result.n_shards,
+        "wall_seconds": wall,
+        "queries_sent": result.perf.queries_sent,
+        "queries_per_second": result.perf.queries_sent / wall if wall else 0.0,
+        "platforms": len(result.rows),
+        "shard_busy_seconds": result.perf.busy_seconds,
+    }, result.rows
+
+
+def test_bench_scaling_parallel(benchmark):
+    specs = generate_population("open-resolvers", POPULATION_SIZE,
+                                seed=SEED, **CAPS)
+
+    def sweep():
+        legs = []
+        seed_leg, seed_rows = _sequential_leg(
+            "seed-sequential", False, specs)
+        legs.append(seed_leg)
+        indexed_leg, indexed_rows = _sequential_leg(
+            "sequential-indexed", True, specs)
+        legs.append(indexed_leg)
+
+        parallel_rows = {}
+        inprocess_leg, rows = _parallel_leg("shards-inprocess", 0, specs)
+        legs.append(inprocess_leg)
+        parallel_rows[0] = rows
+        for workers in WORKER_COUNTS:
+            leg, rows = _parallel_leg(f"workers-{workers}", workers, specs)
+            legs.append(leg)
+            parallel_rows[workers] = rows
+        return legs, seed_rows, indexed_rows, parallel_rows
+
+    legs, seed_rows, indexed_rows, parallel_rows = run_once(benchmark, sweep)
+
+    # Indexing must not change what the shared-world sweep measures.
+    assert _row_key(seed_rows) == _row_key(indexed_rows)
+    # The worker pool must not change what the shard plan measures.
+    reference = _row_key(parallel_rows[0])
+    for workers, rows in parallel_rows.items():
+        assert _row_key(rows) == reference, f"workers={workers} diverged"
+
+    by_leg = {leg["leg"]: leg for leg in legs}
+    seed_wall = by_leg["seed-sequential"]["wall_seconds"]
+    four_wall = by_leg["workers-4"]["wall_seconds"]
+    speedup = seed_wall / four_wall if four_wall else 0.0
+
+    payload = {
+        "population": "open-resolvers",
+        "population_size": POPULATION_SIZE,
+        "n_shards": DEFAULT_SHARDS,
+        "seed": SEED,
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "rows_identical_across_workers": True,
+        "speedup_workers4_vs_seed": speedup,
+        "legs": legs,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print()
+    print(f"open-resolvers x {POPULATION_SIZE}, {DEFAULT_SHARDS} shards "
+          f"({os.cpu_count()} CPU(s)); rows identical across all legs")
+    for leg in legs:
+        qps = leg["queries_per_second"]
+        print(f"  {leg['leg']:<20} {leg['wall_seconds']:7.2f}s "
+              f"{qps:8.0f} q/s")
+    print(f"  speedup workers-4 vs seed-sequential: {speedup:.2f}x "
+          f"(written to {OUTPUT.name})")
+
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"expected >=2x over the seed-equivalent baseline, "
+            f"got {speedup:.2f}x")

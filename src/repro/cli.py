@@ -93,6 +93,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         build_world,
         format_bubbles,
         format_cdf_series,
+        format_perf,
         format_ratio_breakdown,
         measurements_csv,
         regenerate_all,
@@ -100,13 +101,16 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     )
     from .study.figures import DEFAULT_CAPS
 
+    if args.workers is not None and args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
     world = build_world(seed=args.seed)
     sizes = {population: args.count
              for population in ("open-resolvers", "email-servers",
                                 "ad-network")}
     data = regenerate_all(world, sizes=sizes, caps=DEFAULT_CAPS,
                           table1_domains=max(20, args.count),
-                          seed=args.seed)
+                          seed=args.seed, workers=args.workers)
     print(format_cdf_series(data.egress_series(),
                             xs=[1, 2, 5, 11, 20, 40],
                             title="Figure 3: egress IPs per platform (CDF)",
@@ -118,6 +122,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     print()
     print(format_ratio_breakdown(data.ratio_breakdowns(),
                                  title="Figure 6: IP/cache ratio categories"))
+    print()
+    print(format_perf(data.perf))
     if args.bubbles:
         for population, figure in (("open-resolvers", "Figure 5"),
                                    ("email-servers", "Figure 7"),
@@ -325,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", help="regenerate Figures 3-8")
     figures.add_argument("--count", type=int, default=30,
                          help="platforms per population")
+    figures.add_argument("--workers", type=int, default=None,
+                         help="measure through the sharded parallel engine "
+                              "on N worker processes (0 = in-process shards; "
+                              "omit for the sequential pipeline)")
     figures.add_argument("--bubbles", action="store_true",
                          help="also print the Figure 5/7/8 bubble tables")
     figures.add_argument("--out", default=None,

@@ -146,9 +146,7 @@ def discover_egress_ips(cde: CdeInfrastructure, prober: DirectProber,
     names = cde.unique_names(probes, prefix="egress")
     for probe_name in names:
         prober.probe(ingress_ip, probe_name, qtype)
-    wanted = set(names)
-    entries = cde.server.query_log.entries(
-        since=since, predicate=lambda entry: entry.qname in wanted)
+    entries = cde.server.query_log.entries_for_any(names, since=since)
     sources = {entry.src_ip for entry in entries}
     return EgressDiscoveryResult(
         egress_ips=sources, queries_sent=probes, arrivals=len(entries),
@@ -210,13 +208,11 @@ def map_egress_to_caches(cde: CdeInfrastructure, prober: DirectProber,
     log = cde.server.query_log
     for _ in range(probes):
         chain = cde.setup_fresh_chain(links)
-        wanted = set(chain)
         since = prober.network.clock.now
         prober.probe(ingress_ip, chain[0])
         sources = sorted({
             entry.src_ip
-            for entry in log.entries(
-                since=since, predicate=lambda entry: entry.qname in wanted)
+            for entry in log.entries_for_any(chain, since=since)
         })
         for source in sources:
             union(sources[0], source)

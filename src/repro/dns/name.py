@@ -7,17 +7,37 @@ per RFC 1035 §2.3.3; the original spelling is preserved for display.
 
 The class supports the small algebra the rest of the library needs:
 parent/ancestor walks, subdomain tests, relativisation and concatenation.
+
+Names are constructed on every probe, every log entry and every zone
+lookup, so construction and comparison are hot paths for population-scale
+measurement runs.  Three mechanisms keep them off the profile:
+
+* case folding is **lazy** — a name folds its labels only when first
+  hashed or compared, so display-only names never pay for it;
+* derived names (``parent``, ``prepend``, ``concatenate``) take a private
+  **trusted-constructor** path that skips re-validating labels that were
+  already validated when the source name was built;
+* :meth:`from_text` **interns** parses through a bounded cache, so the
+  high-frequency names (zone origins, infrastructure names) are parsed and
+  folded exactly once per process.
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from .errors import NameError_
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 253  # presentation form, excluding the trailing dot
+
+#: Bound on the :meth:`DnsName.from_text` interning cache.  Measurement
+#: runs create unbounded fresh probe names; the cache is cleared rather
+#: than evicted when full (cheap, and the steady-state hot set — origins,
+#: nameserver names — repopulates immediately).
+_INTERN_CACHE_MAX = 8192
+_intern_cache: dict[str, "DnsName"] = {}
 
 
 def _validate_label(label: str) -> None:
@@ -38,7 +58,7 @@ class DnsName:
     or from labels with the constructor.
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_hash")
 
     def __init__(self, labels: Iterable[str]):
         labels = tuple(labels)
@@ -48,20 +68,42 @@ class DnsName:
         if text_len > MAX_NAME_LENGTH:
             raise NameError_(f"name too long ({text_len} > {MAX_NAME_LENGTH})")
         self._labels = labels
-        self._folded = tuple(lab.lower() for lab in labels)
+        self._folded: Optional[tuple[str, ...]] = None
+        self._hash: Optional[int] = None
 
     # -- construction -----------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, labels: tuple[str, ...],
+                 folded: Optional[tuple[str, ...]] = None) -> "DnsName":
+        """Build from labels known to be valid (derived from an existing
+        name), skipping validation.  ``folded`` may carry the already-folded
+        labels when the source name had folded."""
+        self = object.__new__(cls)
+        self._labels = labels
+        self._folded = folded
+        self._hash = None
+        return self
 
     @classmethod
     def from_text(cls, text: str) -> "DnsName":
         """Parse presentation format.  A trailing dot is accepted; ``.`` and
         the empty string denote the root name."""
-        text = text.strip()
-        if text in (".", ""):
-            return ROOT
-        if text.endswith("."):
-            text = text[:-1]
-        return cls(text.split("."))
+        cached = _intern_cache.get(text)
+        if cached is not None:
+            return cached
+        key = text
+        stripped = text.strip()
+        if stripped in (".", ""):
+            result: DnsName = ROOT
+        else:
+            if stripped.endswith("."):
+                stripped = stripped[:-1]
+            result = cls(stripped.split("."))
+        if len(_intern_cache) >= _INTERN_CACHE_MAX:
+            _intern_cache.clear()
+        _intern_cache[key] = result
+        return result
 
     @classmethod
     def root(cls) -> "DnsName":
@@ -73,6 +115,15 @@ class DnsName:
     def labels(self) -> tuple[str, ...]:
         return self._labels
 
+    @property
+    def folded(self) -> tuple[str, ...]:
+        """Case-folded labels (computed lazily, once)."""
+        folded = self._folded
+        if folded is None:
+            folded = tuple(lab.lower() for lab in self._labels)
+            self._folded = folded
+        return folded
+
     def __str__(self) -> str:
         if not self._labels:
             return "."
@@ -82,26 +133,40 @@ class DnsName:
         return f"DnsName({str(self)!r})"
 
     def __hash__(self) -> int:
-        return hash(self._folded)
+        value = self._hash
+        if value is None:
+            value = hash(self.folded)
+            self._hash = value
+        return value
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if isinstance(other, str):
             other = DnsName.from_text(other)
         if not isinstance(other, DnsName):
             return NotImplemented
-        return self._folded == other._folded
+        return self.folded == other.folded
 
     def __lt__(self, other: "DnsName") -> bool:
         if not isinstance(other, DnsName):
             return NotImplemented
         # Canonical DNS ordering compares names right to left (by zone depth).
-        return tuple(reversed(self._folded)) < tuple(reversed(other._folded))
+        return tuple(reversed(self.folded)) < tuple(reversed(other.folded))
 
     def __len__(self) -> int:
         return len(self._labels)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._labels)
+
+    def __getstate__(self) -> tuple[str, ...]:
+        return self._labels
+
+    def __setstate__(self, labels: tuple[str, ...]) -> None:
+        self._labels = labels
+        self._folded = None
+        self._hash = None
 
     # -- algebra ------------------------------------------------------------
 
@@ -114,7 +179,9 @@ class DnsName:
         the root itself."""
         if not self._labels:
             return self
-        return DnsName(self._labels[1:])
+        folded = self._folded
+        return DnsName._trusted(self._labels[1:],
+                                folded[1:] if folded is not None else None)
 
     def ancestors(self, include_self: bool = False) -> Iterator["DnsName"]:
         """Yield ancestors from closest to the root (the root included)."""
@@ -127,11 +194,12 @@ class DnsName:
 
     def is_subdomain_of(self, other: "DnsName") -> bool:
         """True when ``self`` equals ``other`` or sits below it."""
-        if len(other._folded) > len(self._folded):
+        own, theirs = self.folded, other.folded
+        if len(theirs) > len(own):
             return False
-        if not other._folded:
+        if not theirs:
             return True
-        return self._folded[-len(other._folded):] == other._folded
+        return own[-len(theirs):] == theirs
 
     def is_strict_subdomain_of(self, other: "DnsName") -> bool:
         return self != other and self.is_subdomain_of(other)
@@ -149,10 +217,23 @@ class DnsName:
 
     def prepend(self, *labels: str) -> "DnsName":
         """Return a new name with ``labels`` added on the left."""
-        return DnsName(tuple(labels) + self._labels)
+        for label in labels:
+            _validate_label(label)
+        combined = tuple(labels) + self._labels
+        text_len = sum(len(lab) for lab in combined) + max(len(combined) - 1, 0)
+        if text_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({text_len} > {MAX_NAME_LENGTH})")
+        return DnsName._trusted(combined)
 
     def concatenate(self, suffix: "DnsName") -> "DnsName":
-        return DnsName(self._labels + suffix._labels)
+        combined = self._labels + suffix._labels
+        text_len = sum(len(lab) for lab in combined) + max(len(combined) - 1, 0)
+        if text_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({text_len} > {MAX_NAME_LENGTH})")
+        own, theirs = self._folded, suffix._folded
+        folded = (own + theirs
+                  if own is not None and theirs is not None else None)
+        return DnsName._trusted(combined, folded)
 
     def depth_below(self, origin: "DnsName") -> int:
         """Number of labels of ``self`` below ``origin``."""

@@ -13,13 +13,15 @@ from .latency import (
 )
 from .loss import PAPER_LOSS_RATES, BernoulliLoss, BurstLoss, LossModel, NoLoss, country_loss
 from .network import Endpoint, LinkProfile, Network, NetworkStats, Transaction
-from .rng import RngFactory, make_rng
+from .perf import PerfCounters, ShardPerf, snapshot_stats, stats_delta, track
+from .rng import RngFactory, derive_seed, make_rng
 
 __all__ = [
     "AddressAllocator", "AddressPool", "BernoulliLoss", "BurstLoss",
     "CompositeLatency", "ConstantLatency", "Endpoint", "LatencyModel",
     "LinkProfile", "LogNormalLatency", "LossModel", "Network", "NetworkStats",
-    "NoLoss", "PAPER_LOSS_RATES", "Prefix", "RngFactory", "SimClock",
-    "Transaction", "UniformLatency", "country_loss", "int_to_ip", "ip_to_int",
-    "lan_path", "make_rng", "wan_path",
+    "NoLoss", "PAPER_LOSS_RATES", "PerfCounters", "Prefix", "RngFactory",
+    "ShardPerf", "SimClock", "Transaction", "UniformLatency", "country_loss",
+    "derive_seed", "int_to_ip", "ip_to_int", "lan_path", "make_rng",
+    "snapshot_stats", "stats_delta", "track", "wan_path",
 ]

@@ -13,9 +13,20 @@ import random
 from typing import Optional
 
 
-def _derive_seed(root_seed: int, stream: str) -> int:
+def derive_seed(root_seed: int, stream: str) -> int:
+    """Stable 64-bit seed for a named stream under ``root_seed``.
+
+    This is the one seed-derivation scheme of the whole toolkit: RNG
+    streams, forked factories and the parallel measurement engine's
+    per-shard world seeds (``derive_seed(base_seed, "shard/<index>")``)
+    all flow through it, so a documented seed reproduces everything.
+    """
     digest = hashlib.sha256(f"{root_seed}/{stream}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Backwards-compatible alias (pre-parallel-engine internal name).
+_derive_seed = derive_seed
 
 
 class RngFactory:
@@ -28,13 +39,13 @@ class RngFactory:
     def stream(self, name: str) -> random.Random:
         rng = self._streams.get(name)
         if rng is None:
-            rng = random.Random(_derive_seed(self.root_seed, name))
+            rng = random.Random(derive_seed(self.root_seed, name))
             self._streams[name] = rng
         return rng
 
     def fork(self, name: str) -> "RngFactory":
         """A child factory whose root seed derives from this one."""
-        return RngFactory(_derive_seed(self.root_seed, f"fork:{name}"))
+        return RngFactory(derive_seed(self.root_seed, f"fork:{name}"))
 
 
 def make_rng(seed: Optional[int], stream: str = "default") -> random.Random:

@@ -21,6 +21,7 @@ from .export import (
     measurement_to_dict,
     measurements_to_dict,
     monitor_to_dict,
+    perf_to_dict,
     report_to_dict,
     table1_to_dict,
     to_json,
@@ -55,6 +56,17 @@ from .operators import (
     draw_operator,
     top_n_table,
 )
+from .parallel import (
+    DEFAULT_SHARDS,
+    ParallelMeasurement,
+    ShardOutcome,
+    ShardTask,
+    measure_population_parallel,
+    plan_shards,
+    run_parallel_measurement,
+    run_shard,
+    shard_seed,
+)
 from .population import (
     POPULATIONS,
     SELECTOR_MIX,
@@ -67,6 +79,7 @@ from .report import (
     format_bubbles,
     format_cdf_series,
     format_fractions,
+    format_perf,
     format_ratio_breakdown,
     format_table,
 )
@@ -85,23 +98,29 @@ from .stats import (
 
 __all__ = [
     "AD_NETWORK_OPERATORS", "AccuracyReport", "AccuracyStats",
-    "AdCollectionResult", "EMAIL_SERVER_OPERATORS",
+    "AdCollectionResult", "DEFAULT_SHARDS", "EMAIL_SERVER_OPERATORS",
     "accuracy_report", "selector_class_of",
     "HostedPlatform", "MeasurementBudget", "OPEN_RESOLVER_OPERATORS",
-    "OPERATOR_TABLES", "POPULATIONS", "PlatformMeasurement", "PlatformSpec",
+    "OPERATOR_TABLES", "POPULATIONS", "ParallelMeasurement",
+    "PlatformMeasurement", "PlatformSpec",
     "PopulationGenerator", "RatioBreakdown", "SELECTOR_MIX", "ScanResult",
+    "ShardOutcome", "ShardTask",
     "SimulatedInternet", "SinkEndpoint", "SmtpCollectionResult",
     "TABLE1_PAPER_ROWS", "WorldConfig", "build_world", "bubble_counts",
     "cdf_at", "cdf_points", "classify_mechanism", "country_of_operator",
     "draw_operator", "draw_selector_name", "format_bubbles",
-    "format_cdf_series", "format_fractions", "format_ratio_breakdown",
+    "format_cdf_series", "format_fractions", "format_perf",
+    "format_ratio_breakdown",
     "format_table", "fraction_above", "fraction_at_most",
     "FigureData", "edns_survey_to_dict", "generate_population",
     "measure_direct", "measurements_csv", "regenerate_all", "table1_csv",
-    "measure_population", "measure_via_browser", "measure_via_smtp",
+    "measure_population", "measure_population_parallel",
+    "measure_via_browser", "measure_via_smtp",
     "measurement_to_dict", "measurements_to_dict", "median",
-    "monitor_to_dict", "ratio_breakdown", "report_to_dict",
-    "run_ad_collection", "run_smtp_collection", "scan_for_open_resolvers",
+    "monitor_to_dict", "perf_to_dict", "plan_shards", "ratio_breakdown",
+    "report_to_dict",
+    "run_ad_collection", "run_parallel_measurement", "run_shard",
+    "run_smtp_collection", "scan_for_open_resolvers", "shard_seed",
     "snap_to_bin", "table1_to_dict", "to_json", "top_n_table",
     "EvolutionModel", "TrendRound", "TrendStudy",
 ]

@@ -25,6 +25,7 @@ from ..core.prober import BrowserProber
 from ..dns.errors import QueryTimeout
 from ..dns.name import DnsName
 from ..dns.rrtype import RCode, RRType
+from ..net.perf import PerfCounters, track
 from .internet import HostedPlatform, SimulatedInternet
 from .population import PlatformSpec
 
@@ -41,6 +42,7 @@ class ScanResult:
     refused: int
     unreachable: int
     flagged: int = 0   # dropped by the integrity (hygiene) checks
+    perf: Optional[PerfCounters] = None
 
     @property
     def open_count(self) -> int:
@@ -68,39 +70,42 @@ def scan_for_open_resolvers(world: SimulatedInternet,
     refused = 0
     unreachable = 0
     flagged = 0
-    for spec in specs:
-        hosted = world.add_platform_from_spec(spec)
-        if rng.random() < closed_fraction:
-            hosted.platform.config.open_to = "172.16.0.0/12"
-        probe_name = world.cde.unique_name("scan")
-        try:
-            transaction = world.prober.query(
-                hosted.platform.ingress_ips[0], probe_name)
-        except QueryTimeout:
-            unreachable += 1
-            continue
-        if transaction.response.rcode == RCode.NOERROR and \
-                transaction.response.answers:
-            if integrity_check:
-                from ..core.integrity import check_resolver_integrity
+    perf = PerfCounters()
+    with track(world, perf=perf, platforms=len(specs)):
+        for spec in specs:
+            hosted = world.add_platform_from_spec(spec)
+            if rng.random() < closed_fraction:
+                hosted.platform.config.open_to = "172.16.0.0/12"
+            probe_name = world.cde.unique_name("scan")
+            try:
+                transaction = world.prober.query(
+                    hosted.platform.ingress_ips[0], probe_name)
+            except QueryTimeout:
+                unreachable += 1
+                continue
+            if transaction.response.rcode == RCode.NOERROR and \
+                    transaction.response.answers:
+                if integrity_check:
+                    from ..core.integrity import check_resolver_integrity
 
-                report = check_resolver_integrity(
-                    world.cde, world.prober,
-                    hosted.platform.ingress_ips[0])
-                if not report.clean:
-                    flagged += 1
-                    continue
-            open_platforms.append(hosted)
-            if limit is not None and len(open_platforms) >= limit:
-                break
-        else:
-            refused += 1
+                    report = check_resolver_integrity(
+                        world.cde, world.prober,
+                        hosted.platform.ingress_ips[0])
+                    if not report.clean:
+                        flagged += 1
+                        continue
+                open_platforms.append(hosted)
+                if limit is not None and len(open_platforms) >= limit:
+                    break
+            else:
+                refused += 1
     return ScanResult(
         candidates=len(specs),
         open_platforms=open_platforms,
         refused=refused,
         unreachable=unreachable,
         flagged=flagged,
+        perf=perf,
     )
 
 
@@ -124,6 +129,7 @@ class SmtpCollectionResult:
     domains_probed: int
     mechanism_fractions: dict[str, float]
     per_domain_mechanisms: dict[str, set[str]] = field(default_factory=dict)
+    perf: Optional[PerfCounters] = None
 
     def table1_rows(self) -> list[tuple[str, float]]:
         """Rows in the paper's Table I order."""
@@ -165,22 +171,25 @@ def run_smtp_collection(world: SimulatedInternet,
                         specs: list[PlatformSpec]) -> SmtpCollectionResult:
     """One probe email per enterprise; classify what reaches our nameserver."""
     mechanisms_per_domain: dict[str, set[str]] = {}
-    for spec in specs:
-        hosted = world.add_platform_from_spec(spec)
-        domain = f"enterprise-{spec.index}.example"
-        server = world.make_smtp_server(domain, hosted)
-        sender = world.cde.unique_name("mail")
-        since = world.clock.now
-        server.receive_message(
-            mail_from=f"prober@{sender}",
-            rcpt_to=f"no-such-mailbox@{domain}",
-        )
-        seen: set[str] = set()
-        for entry in world.cde.server.query_log.entries(since=since):
-            mechanism = classify_mechanism(sender, entry.qname, entry.qtype)
-            if mechanism is not None:
-                seen.add(mechanism)
-        mechanisms_per_domain[domain] = seen
+    perf = PerfCounters()
+    with track(world, perf=perf, platforms=len(specs)):
+        for spec in specs:
+            hosted = world.add_platform_from_spec(spec)
+            domain = f"enterprise-{spec.index}.example"
+            server = world.make_smtp_server(domain, hosted)
+            sender = world.cde.unique_name("mail")
+            since = world.clock.now
+            server.receive_message(
+                mail_from=f"prober@{sender}",
+                rcpt_to=f"no-such-mailbox@{domain}",
+            )
+            seen: set[str] = set()
+            for entry in world.cde.server.query_log.entries(since=since):
+                mechanism = classify_mechanism(sender, entry.qname,
+                                               entry.qtype)
+                if mechanism is not None:
+                    seen.add(mechanism)
+            mechanisms_per_domain[domain] = seen
 
     total = len(mechanisms_per_domain) or 1
     fractions = {
@@ -193,6 +202,7 @@ def run_smtp_collection(world: SimulatedInternet,
         domains_probed=len(mechanisms_per_domain),
         mechanism_fractions=fractions,
         per_domain_mechanisms=mechanisms_per_domain,
+        perf=perf,
     )
 
 
@@ -207,6 +217,7 @@ class AdCollectionResult:
     completed: int
     probers: list[BrowserProber]
     operators: list[str]          # operator per completed client (Fig. 2)
+    perf: Optional[PerfCounters] = None
 
     @property
     def completion_rate(self) -> float:
@@ -225,19 +236,23 @@ def run_ad_collection(world: SimulatedInternet, specs: list[PlatformSpec],
     """
     campaign = campaign or AdCampaign(rng=world.rng_factory.stream("campaign"))
     rng = world.rng_factory.stream("ad-clients")
-    hosted_platforms = [world.add_platform_from_spec(spec) for spec in specs]
     probers: list[BrowserProber] = []
     operators: list[str] = []
-    for _ in range(impressions):
-        hosted = hosted_platforms[rng.randrange(len(hosted_platforms))]
-        browser = world.make_browser(hosted)
-        impression = campaign.serve(browser, lambda b: [])
-        if impression.completed:
-            probers.append(BrowserProber(browser))
-            operators.append(hosted.spec.operator)
+    perf = PerfCounters()
+    with track(world, perf=perf, platforms=len(specs)):
+        hosted_platforms = [world.add_platform_from_spec(spec)
+                            for spec in specs]
+        for _ in range(impressions):
+            hosted = hosted_platforms[rng.randrange(len(hosted_platforms))]
+            browser = world.make_browser(hosted)
+            impression = campaign.serve(browser, lambda b: [])
+            if impression.completed:
+                probers.append(BrowserProber(browser))
+                operators.append(hosted.spec.operator)
     return AdCollectionResult(
         impressions=impressions,
         completed=len(probers),
         probers=probers,
         operators=operators,
+        perf=perf,
     )

@@ -9,11 +9,12 @@ surveys and monitor histories.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Optional
 
 from ..core.edns_survey import EdnsSurveyResult
 from ..core.monitor import PlatformMonitor
 from ..core.session import PlatformReport
+from ..net.perf import PerfCounters
 from .collection import SmtpCollectionResult
 from .measurement import PlatformMeasurement
 
@@ -85,6 +86,15 @@ def table1_to_dict(result: SmtpCollectionResult) -> dict[str, Any]:
         "rows": [{"query_type": label, "fraction": fraction}
                  for label, fraction in result.table1_rows()],
     }
+
+
+def perf_to_dict(perf: Optional[PerfCounters]) -> Optional[dict[str, Any]]:
+    """A :class:`PerfCounters` as a JSON-safe dict (``None`` passes through).
+
+    The measured rows are deterministic per seed; these counters are
+    machine-dependent throughput metadata riding alongside them.
+    """
+    return None if perf is None else perf.to_dict()
 
 
 def edns_survey_to_dict(survey: EdnsSurveyResult) -> dict[str, Any]:

@@ -14,10 +14,12 @@ import io
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..net.perf import PerfCounters, track
 from .collection import SmtpCollectionResult, run_smtp_collection
 from .internet import SimulatedInternet
 from .measurement import MeasurementBudget, PlatformMeasurement, measure_population
 from .operators import OPERATOR_TABLES, draw_operator, top_n_table
+from .parallel import run_parallel_measurement
 from .population import POPULATIONS, generate_population
 from .stats import RatioBreakdown, bubble_counts, ratio_breakdown
 
@@ -37,6 +39,9 @@ class FigureData:
     table1: Optional[SmtpCollectionResult] = None
     operator_tables: dict[str, list[tuple[str, float]]] = field(
         default_factory=dict)
+    #: Performance counters of the measurement phase (wall time, traffic,
+    #: queries/sec) — populated by :func:`regenerate_all`.
+    perf: Optional[PerfCounters] = None
 
     # -- figure series ---------------------------------------------------
 
@@ -68,17 +73,44 @@ def regenerate_all(world: SimulatedInternet,
                    budget: Optional[MeasurementBudget] = None,
                    table1_domains: int = 150,
                    operator_draws: int = 1000,
-                   seed: int = 0) -> FigureData:
-    """One pass that regenerates every table and figure's data."""
+                   seed: int = 0,
+                   workers: Optional[int] = None) -> FigureData:
+    """One pass that regenerates every table and figure's data.
+
+    ``workers=None`` measures every population sequentially inside the
+    shared ``world`` (the original single-process pipeline).  Any integer
+    — including 0, the in-process debug mode — routes the measurement
+    phase through the sharded parallel engine instead: each population is
+    split across independently seeded shard worlds (seed derivation
+    ``derive_seed(seed, "shard/<i>")``), so the rows are deterministic for
+    a given seed and identical for every worker count.
+    """
     sizes = sizes or DEFAULT_SIZES
     caps = caps or DEFAULT_CAPS
     budget = budget or MeasurementBudget()
 
     measurements = {}
+    perf = PerfCounters(workers=workers or 0)
     for population in POPULATIONS:
         specs = generate_population(population, sizes[population], seed=seed,
                                     **caps.get(population, {}))
-        measurements[population] = measure_population(world, specs, budget)
+        if workers is None:
+            with track(world, perf=perf, platforms=len(specs)):
+                rows = measure_population(world, specs, budget)
+            measurements[population] = rows
+            # The shared prober only sees direct queries; indirect
+            # techniques spend theirs through SMTP/browser clients.
+            perf.queries_sent += sum(
+                row.queries_used for row in rows
+                if row.technique != "direct")
+        else:
+            result = run_parallel_measurement(
+                specs, base_seed=seed, workers=workers,
+                config=world.config, budget=budget)
+            measurements[population] = result.rows
+            perf.wall_seconds += result.perf.wall_seconds
+            for shard in result.perf.shards:
+                perf.add_shard(shard)
 
     table1_specs = generate_population(
         "email-servers", table1_domains, seed=seed + 1,
@@ -93,7 +125,7 @@ def regenerate_all(world: SimulatedInternet,
         operator_tables[population] = top_n_table(labels, n=10)
 
     return FigureData(measurements=measurements, table1=table1,
-                      operator_tables=operator_tables)
+                      operator_tables=operator_tables, perf=perf)
 
 
 # ---------------------------------------------------------------------------

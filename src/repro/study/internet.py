@@ -64,6 +64,10 @@ class WorldConfig:
     #: Route every message through the RFC 1035 wire codec (slower;
     #: validates that all traffic survives real encoding).
     wire_fidelity: bool = False
+    #: Keep the CDE nameserver query logs indexed (sub-linear counting).
+    #: ``False`` restores the seed's full-scan log — only the scaling
+    #: benches use it, to measure what the indexes buy.
+    indexed_logs: bool = True
 
 
 @dataclass
@@ -91,7 +95,8 @@ class SimulatedInternet:
         self.hierarchy = RootHierarchy(self.network, profile=infra_profile)
         self.cde = CdeInfrastructure(self.network, self.hierarchy,
                                      base_domain=self.config.base_domain,
-                                     profile=infra_profile)
+                                     profile=infra_profile,
+                                     indexed_logs=self.config.indexed_logs)
 
         prober_profile = LinkProfile(
             latency=wan_path(self.config.prober_latency,

@@ -117,24 +117,16 @@ def _measure_indirect(world: SimulatedInternet, hosted: HostedPlatform,
     result = bypass.run(prober, q, count_qtype=count_qtype)
 
     # Egress census: fresh names through the same prober; distinct sources.
+    # A probe name matches its whole subtree: the SMTP channel carries the
+    # name into ``_dmarc.<name>``-style authentication lookups.
     probes = _egress_probe_budget(spec, budget)
     names = world.cde.unique_names(probes, prefix="egx")
     since = world.clock.now
     prober.trigger(names)
-    wanted = set(names)
-
-    def under_probe_name(entry) -> bool:
-        qname = entry.qname
-        while len(qname) > 0:
-            if qname in wanted:
-                return True
-            qname = qname.parent
-        return False
-
     sources = {
         entry.src_ip
-        for entry in world.cde.server.query_log.entries(
-            since=since, predicate=under_probe_name)
+        for entry in world.cde.server.query_log.entries_for_any(
+            names, since=since, under=True)
     }
     return PlatformMeasurement(
         spec=spec,

@@ -1,0 +1,195 @@
+"""Sharded, deterministic, parallel population measurement (the engine).
+
+The paper's evaluation measures whole populations of resolution platforms;
+:func:`~repro.study.measurement.measure_population` walks them one by one
+in a single process against one shared :class:`SimulatedInternet`.  This
+module scales that sweep out while keeping the seeded determinism promised
+in DESIGN.md §6:
+
+1. **Plan** — the population's :class:`PlatformSpec` list is partitioned
+   into a fixed number of *shards* (striped round-robin, so the heavy tail
+   of giant platforms spreads evenly).  The shard plan depends only on
+   ``(specs, base_seed, n_shards)`` — never on the worker count.
+2. **Seed** — each shard gets its own independent world, built from a seed
+   derived as ``derive_seed(base_seed, "shard/<index>")`` via
+   :mod:`repro.net.rng` — the toolkit's one seed-derivation scheme.
+3. **Run** — shards execute concurrently on a
+   :class:`concurrent.futures.ProcessPoolExecutor` (``workers=0`` runs
+   them in-process, for debugging and as a dependency-free fallback).
+4. **Merge** — per-platform rows return to the *original spec order*, so
+   results are bit-identical regardless of worker count: the worker pool
+   only changes scheduling, never what any shard computes.
+
+Each shard also reports a :class:`~repro.net.perf.ShardPerf` sample; the
+merged :class:`~repro.net.perf.PerfCounters` carries wall time, aggregated
+network stats and queries/second into reports, JSON export and the scaling
+benches.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..net.perf import PerfCounters, ShardPerf, snapshot_stats, stats_delta
+from ..net.rng import derive_seed
+from .internet import SimulatedInternet, WorldConfig
+from .measurement import MeasurementBudget, PlatformMeasurement, measure_population
+from .population import PlatformSpec
+
+#: Default shard count.  Fixed (not derived from the worker count!) so the
+#: same plan — and therefore the same measured rows — comes out whether the
+#: shards run on 0, 1 or 16 workers.
+DEFAULT_SHARDS = 8
+
+
+def shard_seed(base_seed: int, shard_index: int) -> int:
+    """The world seed of shard ``shard_index`` under ``base_seed``."""
+    return derive_seed(base_seed, f"shard/{shard_index}")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to measure its shard (picklable)."""
+
+    shard_index: int
+    seed: int
+    positions: tuple[int, ...]          # indices into the original spec list
+    specs: tuple[PlatformSpec, ...]
+    config: WorldConfig                 # template; ``seed`` already applied
+    budget: MeasurementBudget
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's measured rows plus its performance sample."""
+
+    shard_index: int
+    positions: tuple[int, ...]
+    rows: list[PlatformMeasurement]
+    perf: ShardPerf
+
+
+@dataclass
+class ParallelMeasurement:
+    """Merged result of a sharded population sweep."""
+
+    rows: list[PlatformMeasurement]
+    perf: PerfCounters
+    n_shards: int = 0
+    base_seed: int = 0
+
+    @property
+    def shard_rows(self) -> int:
+        return sum(shard.platforms for shard in self.perf.shards)
+
+
+def plan_shards(specs: list[PlatformSpec], base_seed: int = 0,
+                n_shards: Optional[int] = None,
+                config: Optional[WorldConfig] = None,
+                budget: Optional[MeasurementBudget] = None) -> list[ShardTask]:
+    """Deterministic shard plan for ``specs`` under ``base_seed``.
+
+    Striped assignment: spec ``i`` goes to shard ``i % n_shards``.  The
+    heavy platforms of a population draw are scattered through the list,
+    so striping balances shard work without inspecting the specs (which
+    would couple the plan to ground truth the measurement must not use).
+    """
+    config = config or WorldConfig(seed=base_seed)
+    budget = budget or MeasurementBudget()
+    count = n_shards if n_shards is not None else DEFAULT_SHARDS
+    count = max(1, min(count, len(specs)) if specs else 1)
+    buckets: list[list[int]] = [[] for _ in range(count)]
+    for position in range(len(specs)):
+        buckets[position % count].append(position)
+    tasks = []
+    for index, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        tasks.append(ShardTask(
+            shard_index=index,
+            seed=shard_seed(base_seed, index),
+            positions=tuple(bucket),
+            specs=tuple(specs[position] for position in bucket),
+            config=replace(config, seed=shard_seed(base_seed, index)),
+            budget=budget,
+        ))
+    return tasks
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Measure one shard in a fresh world (module-level: picklable)."""
+    started = time.perf_counter()
+    world = SimulatedInternet(task.config)
+    stats_before = snapshot_stats(world.network.stats)
+    rows = measure_population(world, list(task.specs), task.budget)
+    wall = time.perf_counter() - started
+    perf = ShardPerf(
+        shard_index=task.shard_index,
+        platforms=len(rows),
+        wall_seconds=wall,
+        # Methodology spend: direct probes plus the queries the indirect
+        # techniques pushed through SMTP servers and browsers.
+        queries_sent=world.prober.queries_sent + sum(
+            row.queries_used for row in rows if row.technique != "direct"),
+        stats=stats_delta(stats_before, world.network.stats),
+    )
+    return ShardOutcome(shard_index=task.shard_index,
+                        positions=task.positions, rows=rows, perf=perf)
+
+
+def run_parallel_measurement(specs: list[PlatformSpec],
+                             base_seed: int = 0,
+                             workers: int = 0,
+                             n_shards: Optional[int] = None,
+                             config: Optional[WorldConfig] = None,
+                             budget: Optional[MeasurementBudget] = None
+                             ) -> ParallelMeasurement:
+    """Measure a population across sharded worlds; merge in spec order.
+
+    ``workers=0`` executes the shard plan in-process (sequentially); any
+    positive count runs shards on that many worker processes.  Both paths
+    produce identical rows for a given ``(specs, base_seed, n_shards)``.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    tasks = plan_shards(specs, base_seed=base_seed, n_shards=n_shards,
+                        config=config, budget=budget)
+    started = time.perf_counter()
+    if workers == 0 or len(tasks) <= 1:
+        outcomes = [run_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(run_shard, tasks))
+
+    merged: list[Optional[PlatformMeasurement]] = [None] * len(specs)
+    perf = PerfCounters(workers=workers)
+    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
+        for position, row in zip(outcome.positions, outcome.rows):
+            merged[position] = row
+        perf.add_shard(outcome.perf)
+    perf.wall_seconds = time.perf_counter() - started
+    missing = [position for position, row in enumerate(merged) if row is None]
+    if missing:
+        raise RuntimeError(f"shard plan lost specs at positions {missing}")
+    return ParallelMeasurement(
+        rows=[row for row in merged if row is not None],
+        perf=perf,
+        n_shards=len(tasks),
+        base_seed=base_seed,
+    )
+
+
+def measure_population_parallel(specs: list[PlatformSpec],
+                                base_seed: int = 0,
+                                workers: int = 0,
+                                n_shards: Optional[int] = None,
+                                config: Optional[WorldConfig] = None,
+                                budget: Optional[MeasurementBudget] = None
+                                ) -> list[PlatformMeasurement]:
+    """Rows-only convenience wrapper over :func:`run_parallel_measurement`."""
+    return run_parallel_measurement(
+        specs, base_seed=base_seed, workers=workers, n_shards=n_shards,
+        config=config, budget=budget).rows

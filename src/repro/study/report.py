@@ -7,8 +7,9 @@ agree.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
+from ..net.perf import PerfCounters
 from .stats import RatioBreakdown
 
 
@@ -81,3 +82,27 @@ def format_fractions(fractions: dict[str, float], title: str = "",
                      label: str = "item") -> str:
     rows = [(name, f"{100 * value:.1f}%") for name, value in fractions.items()]
     return format_table([label, "fraction"], rows, title=title)
+
+
+def format_perf(perf: Optional[PerfCounters],
+                title: str = "measurement throughput") -> str:
+    """Per-second throughput of a measurement run (wall-clock based).
+
+    Unlike the measured rows, these numbers depend on the machine and the
+    worker count — they report how fast the run went, not what it found.
+    """
+    if perf is None:
+        return format_table(["metric", "value"],
+                            [("perf", "not collected")], title=title)
+    rows: list[Sequence[object]] = [
+        ("platforms measured", perf.platforms),
+        ("queries sent", perf.queries_sent),
+        ("wall seconds", f"{perf.wall_seconds:.3f}"),
+        ("queries / second", f"{perf.queries_per_second:.0f}"),
+        ("platforms / second", f"{perf.platforms_per_second:.1f}"),
+        ("workers", perf.workers),
+        ("shards", len(perf.shards)),
+    ]
+    if perf.shards:
+        rows.append(("shard busy seconds", f"{perf.busy_seconds:.3f}"))
+    return format_table(["metric", "value"], rows, title=title)

@@ -1,0 +1,147 @@
+"""The DnsName hot-path mechanics must not change name semantics.
+
+:class:`DnsName` gained lazy case folding, a trusted constructor for
+derived names and a bounded interning cache on :meth:`from_text`.  All of
+it is an implementation detail: equality, hashing, ordering, validation
+and pickling must behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+
+import pytest
+
+from repro.dns.errors import NameError_
+from repro.dns.name import DnsName, name
+
+name_module = sys.modules["repro.dns.name"]
+
+
+class TestLazyFolding:
+    def test_fold_computed_on_demand(self):
+        built = DnsName(("WWW", "Example", "COM"))
+        assert built._folded is None
+        assert built.folded == ("www", "example", "com")
+        assert built._folded == ("www", "example", "com")
+
+    def test_hash_cached(self):
+        built = DnsName(("a", "b"))
+        assert built._hash is None
+        first = hash(built)
+        assert built._hash == first
+        assert hash(built) == first
+
+    def test_display_never_folds(self):
+        built = DnsName(("MiXeD", "Case"))
+        assert str(built) == "MiXeD.Case"
+        assert built._folded is None
+
+
+class TestTrustedPath:
+    def test_parent_preserves_equality_and_hash(self):
+        child = name("www.example.com.")
+        derived = child.parent
+        direct = name("example.com.")
+        assert derived == direct
+        assert hash(derived) == hash(direct)
+
+    def test_parent_carries_folded_when_available(self):
+        child = name("WWW.Example.COM")
+        child.folded  # force the fold
+        derived = child.parent
+        assert derived._folded == ("example", "com")
+
+    def test_parent_lazy_when_source_unfolded(self):
+        child = DnsName(("WWW", "Example", "COM"))
+        derived = child.parent
+        assert derived._folded is None
+        assert derived == DnsName(("example", "com"))
+
+    def test_prepend_semantics_unchanged(self):
+        base = name("example.com.")
+        derived = base.prepend("Sub")
+        assert derived == name("sub.example.com.")
+        assert hash(derived) == hash(name("SUB.example.com."))
+        assert list(derived) == ["Sub", "example", "com"]
+
+    def test_prepend_still_validates_new_labels(self):
+        base = name("example.com.")
+        with pytest.raises(NameError_):
+            base.prepend("bad.label")
+        with pytest.raises(NameError_):
+            base.prepend("")
+        with pytest.raises(NameError_):
+            base.prepend("x" * 64)
+
+    def test_prepend_still_enforces_total_length(self):
+        base = DnsName(("x" * 63, "y" * 63, "z" * 63))
+        with pytest.raises(NameError_):
+            base.prepend("w" * 63)
+
+    def test_concatenate_semantics_and_length_check(self):
+        joined = name("a.b.").concatenate(name("c.d."))
+        assert joined == name("a.b.c.d.")
+        with pytest.raises(NameError_):
+            DnsName(("x" * 63, "y" * 63)).concatenate(
+                DnsName(("z" * 63, "w" * 63)))
+
+    def test_ordering_through_derived_names(self):
+        parent = name("b.example.").parent
+        assert parent == name("example.")
+        assert name("a.example.") < name("b.example.")
+        assert sorted([name("b.example."), name("a.example."),
+                       name("z.other.")]) == \
+            [name("a.example."), name("b.example."), name("z.other.")]
+
+    def test_identity_fast_path_agrees_with_value_equality(self):
+        built = name("same.example.")
+        assert built == built
+        assert built == DnsName(("same", "example"))
+
+
+class TestInterning:
+    def test_from_text_returns_cached_instance(self):
+        first = DnsName.from_text("interned.example.")
+        second = DnsName.from_text("interned.example.")
+        assert first is second
+
+    def test_different_spellings_are_distinct_objects_but_equal(self):
+        lower = DnsName.from_text("spell.example.")
+        upper = DnsName.from_text("SPELL.example.")
+        assert lower is not upper
+        assert lower == upper
+        assert str(upper) == "SPELL.example"
+
+    def test_cache_clears_when_full(self):
+        name_module._intern_cache.clear()
+        keep = DnsName.from_text("survivor.example.")
+        for index in range(name_module._INTERN_CACHE_MAX):
+            DnsName.from_text(f"filler-{index}.example.")
+        assert len(name_module._intern_cache) <= name_module._INTERN_CACHE_MAX
+        again = DnsName.from_text("survivor.example.")
+        assert again == keep      # value survives even if identity does not
+
+    def test_invalid_text_still_raises_and_is_not_cached(self):
+        with pytest.raises(NameError_):
+            DnsName.from_text("bad..example.")
+        with pytest.raises(NameError_):   # must raise again, not hit a cache
+            DnsName.from_text("bad..example.")
+
+
+class TestPickling:
+    """Shard tasks ship DnsName-bearing specs across process boundaries."""
+
+    def test_roundtrip(self):
+        original = name("Pickle.Example.COM")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert hash(clone) == hash(original)
+        assert str(clone) == "Pickle.Example.COM"
+        assert clone.folded == ("pickle", "example", "com")
+
+    def test_root_roundtrip(self):
+        clone = pickle.loads(pickle.dumps(DnsName.root()))
+        assert clone.is_root()
+        assert clone == DnsName.root()
