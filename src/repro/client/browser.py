@@ -21,7 +21,10 @@ latency charge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from .proxy import WebProxy
 
 from ..dns.errors import ResolutionError
 from ..dns.name import DnsName, name as make_name
@@ -54,7 +57,7 @@ class Browser:
 
     def __init__(self, host_ip: str, stub: StubResolver, network: Network,
                  host_cache_seconds: float = DEFAULT_HOST_CACHE_SECONDS,
-                 proxy=None):
+                 proxy: Optional["WebProxy"] = None):
         self.host_ip = host_ip
         self.stub = stub
         self.network = network

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..dns.name import DnsName
 from ..dns.rrtype import RRType
+from ..net.network import Network
 from .infrastructure import CdeInfrastructure
 from .prober import DirectProber, ProbeResult
 
@@ -95,7 +96,7 @@ class CarpetProber:
         return cls(prober, carpet_k(loss.rate, confidence))
 
     @property
-    def network(self):
+    def network(self) -> Network:
         return self.prober.network
 
     @property

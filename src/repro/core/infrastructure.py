@@ -29,8 +29,10 @@ from typing import Optional
 from ..dns.name import DnsName, name as make_name
 from ..dns.record import a_record, aaaa_record, cname_record, ns_record, soa_record
 from ..dns.zone import WILDCARD_LABEL, Zone
+from ..dns.rrtype import RRType
 from ..net.network import LinkProfile, Network
 from ..server.authoritative import AuthoritativeServer
+from ..server.querylog import QueryLog
 from ..server.hierarchy import RootHierarchy
 
 #: Default TTL for probe records: long enough that planted records outlive a
@@ -217,14 +219,14 @@ class CdeInfrastructure:
     # -- query-log access ------------------------------------------------------
 
     @property
-    def query_log(self):
+    def query_log(self) -> QueryLog:
         return self.server.query_log
 
     def mark(self, label: str) -> None:
         self.server.query_log.mark(label)
 
     def count_queries_for(self, qname: DnsName, since: Optional[float] = None,
-                          qtype=None) -> int:
+                          qtype: Optional[RRType] = None) -> int:
         """Distinct query transactions for ``qname`` at the base nameserver.
 
         Retransmissions (same source, message id and question — what a
@@ -247,7 +249,7 @@ class CdeInfrastructure:
         return self.server.query_log.sources(
             suffix=suffix or self.base_domain, since=since)
 
-    def all_query_logs(self):
+    def all_query_logs(self) -> list[QueryLog]:
         """Logs of the base nameserver and every subzone nameserver."""
         logs = [self.server.query_log]
         logs.extend(h.server.query_log for h in self._hierarchies)

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from ..client.browser import Browser
 
 from ..dns.name import DnsName
 from ..dns.rrtype import RRType
@@ -219,7 +222,7 @@ class IndirectTimingResult:
         return self.estimate.rounded
 
 
-def enumerate_by_timing_indirect(cde: CdeInfrastructure, browser,
+def enumerate_by_timing_indirect(cde: CdeInfrastructure, browser: "Browser",
                                  q: int) -> IndirectTimingResult:
     """§IV-B3's indirect-ingress variant.
 

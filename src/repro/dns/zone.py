@@ -124,8 +124,15 @@ class Zone:
     def rrsets(self) -> list[RRSet]:
         return list(self._rrsets.values())
 
-    def names(self) -> set[DnsName]:
-        return set(self._names)
+    def names(self) -> tuple[DnsName, ...]:
+        """Owner names of the zone, deterministically sorted.
+
+        Returned sorted (not as the raw internal ``set``) so that callers
+        iterating it — exporters, figure builders, enumeration sweeps —
+        can never leak set iteration order into measurement output
+        (cdelint CDE003).
+        """
+        return tuple(sorted(self._names))
 
     @property
     def soa(self) -> Optional[ResourceRecord]:

@@ -1,0 +1,45 @@
+"""cdelint — AST-based determinism & measurement-integrity linter.
+
+The paper's counting techniques attribute every query observed at the
+authoritative server to exactly one cache miss; that attribution only
+holds while the reproduction stays deterministic (virtual clock, seeded
+RNG streams, ordered result paths, pure shard workers).  cdelint encodes
+those invariants as machine-checked rules:
+
+========  ======================  ==========================================
+Rule      Name                    Invariant
+========  ======================  ==========================================
+CDE001    wall-clock              time flows only from ``SimClock``
+CDE002    seeded-randomness       draws flow only from seeded streams
+CDE003    unordered-iteration     set iteration order never reaches rows
+CDE004    shard-purity            shard output is a function of ShardTask
+CDE005    mutable-default         no state shared through default args
+CDE006    public-annotations      public APIs feed the strict mypy gate
+========  ======================  ==========================================
+
+Run ``python -m repro.lint src/`` (``--json`` for the machine-readable
+report); suppress a deliberate exception with
+``# cdelint: disable=CDE00x`` on the flagged line.  Configuration lives
+in ``[tool.cdelint]`` in pyproject.toml; rationale in
+docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig
+from .engine import iter_python_files, run_lint
+from .findings import JSON_SCHEMA_VERSION, Finding, LintReport
+from .registry import ProjectContext, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "register",
+    "run_lint",
+]

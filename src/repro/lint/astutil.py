@@ -1,0 +1,198 @@
+"""Shared AST utilities for the rule implementations.
+
+The helpers here answer the questions every rule keeps asking: "what
+dotted name does this call resolve to, given the module's imports?",
+"which enclosing function is this node in?", and "is this expression a
+set?".  They are deliberately syntactic — cdelint trades soundness for
+zero dependencies and zero configuration, and each rule documents the
+approximation it makes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origins their imports bind.
+
+    ``import time`` -> ``{"time": "time"}``; ``import numpy as np`` ->
+    ``{"np": "numpy"}``; ``from datetime import datetime as dt`` ->
+    ``{"dt": "datetime.datetime"}``.  Relative imports keep their module
+    path without the leading dots (``from ..net import rng`` ->
+    ``{"rng": "net.rng"}``), which is enough for suffix matching.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origin = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                origin = f"{base}.{alias.name}" if base else alias.name
+                aliases[local] = origin
+    return aliases
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_target(node: ast.expr, aliases: dict[str, str]) -> Optional[str]:
+    """Dotted call target with its leading import alias expanded."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def walk_with_symbols(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Walk the tree yielding ``(node, enclosing qualname)`` pairs."""
+
+    def visit(node: ast.AST, symbol: str) -> Iterator[tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_symbol = f"{symbol}.{child.name}" if symbol else child.name
+            yield child, child_symbol
+            yield from visit(child, child_symbol)
+
+    yield from visit(tree, "")
+
+
+def module_level_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Nodes executed at import time (i.e. not inside any function body).
+
+    Class bodies *are* executed at import time, so they are included;
+    function and lambda bodies are not.
+    """
+
+    def visit(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            yield child
+            yield from visit(child)
+
+    yield from visit(tree)
+
+
+_SET_ANNOTATIONS = ("set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+                    "MutableSet")
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+
+
+def annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """Whether a type annotation names a set type (``set[str]`` etc.)."""
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    dotted = dotted_name(target)
+    if dotted is None:
+        return False
+    return dotted.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+
+
+def is_set_expression(node: ast.expr, set_names: frozenset[str] = frozenset(),
+                      set_returning: frozenset[str] = frozenset()) -> bool:
+    """Whether ``node`` evaluates to a set, syntactically.
+
+    ``set_names`` carries local variable names known to hold sets;
+    ``set_returning`` carries simple names of callables whose return
+    annotation is a set type.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (is_set_expression(node.left, set_names, set_returning)
+                or is_set_expression(node.right, set_names, set_returning))
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_METHODS and is_set_expression(
+                    func.value, set_names, set_returning):
+                return True
+            if func.attr in set_returning:
+                return True
+        if isinstance(func, ast.Name) and func.id in set_returning:
+            return True
+    return False
+
+
+def local_set_names(func: ast.AST,
+                    set_returning: frozenset[str] = frozenset()) -> frozenset[str]:
+    """Variable names bound to set values inside ``func``.
+
+    One forward pass over assignments and annotations; a later rebind to
+    a non-set value is *not* tracked (the name stays flagged), which errs
+    on the side of reporting — the fix is a ``sorted(...)`` or an
+    explicit suppression either way.
+    """
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            if is_set_expression(node.value, frozenset(names), set_returning):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and annotation_is_set(
+                    node.annotation):
+                names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and is_set_expression(
+                    node.value, frozenset(names), set_returning):
+                names.add(node.target.id)
+    return frozenset(names)
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool]]:
+    """Yield ``(funcdef, qualname, is_method)`` for every def in the module."""
+
+    def visit(node: ast.AST, prefix: str, in_class: bool) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                yield child, qualname, in_class
+                yield from visit(child, qualname, False)
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                yield from visit(child, qualname, True)
+            else:
+                yield from visit(child, prefix, in_class)
+
+    yield from visit(tree, "", False)

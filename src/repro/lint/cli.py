@@ -1,0 +1,94 @@
+"""Command-line front end: ``python -m repro.lint [paths]``.
+
+Exit codes: ``0`` clean, ``1`` findings (or parse errors), ``2`` usage /
+configuration errors — the convention CI and the committed
+``LINT_baseline.json`` rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .config import LintConfig, find_pyproject
+from .engine import run_lint
+from .registry import all_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "cdelint — determinism & measurement-integrity linter for the "
+            "Counting-in-the-Dark reproduction (rules: docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule IDs to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT", type=Path,
+        help="pyproject.toml to read [tool.cdelint] from "
+             "(default: nearest to the first path)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _load_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        return LintConfig()
+    pyproject: Optional[Path] = args.config
+    if pyproject is None:
+        pyproject = find_pyproject(Path(args.paths[0]).resolve())
+    if pyproject is None:
+        return LintConfig()
+    return LintConfig.from_pyproject(pyproject)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in all_rules().items():
+            print(f"{rule_id}  {rule_cls.name:<22} {rule_cls.summary}")
+        return EXIT_CLEAN
+
+    try:
+        config = _load_config(args)
+        select = args.select.split(",") if args.select else None
+        report = run_lint(args.paths, config=config, select=select)
+    except (ValueError, OSError) as exc:
+        print(f"cdelint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.as_json:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(report.render_human())
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS

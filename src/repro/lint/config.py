@@ -1,0 +1,91 @@
+"""cdelint configuration, loadable from ``[tool.cdelint]`` in pyproject.toml.
+
+Every scope knob is a tuple of posix path fragments matched against the
+*end* of a checked file's path (a trailing ``/`` marks a directory
+fragment matched anywhere in the path).  Suffix matching keeps the config
+valid whether the linter runs from the repo root, a subdirectory, or on
+absolute paths.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any
+
+
+def path_matches(path: str, pattern: str) -> bool:
+    """Whether posix ``path`` falls under ``pattern``.
+
+    ``"repro/net/clock.py"`` matches by suffix; ``"repro/study/"``
+    (trailing slash) matches any path with that directory fragment.
+    """
+    path = "/" + path.lstrip("/")
+    pattern = pattern.strip("/")
+    if pattern.endswith(".py"):
+        return path.endswith("/" + pattern)
+    return ("/" + pattern + "/") in path
+
+
+def path_matches_any(path: str, patterns: tuple[str, ...]) -> bool:
+    return any(path_matches(path, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scopes and allow-lists for the rule set (see docs/STATIC_ANALYSIS.md)."""
+
+    #: Files/directories never linted.
+    exclude: tuple[str, ...] = ()
+    #: The only files allowed to touch the wall clock (CDE001).
+    wallclock_allow: tuple[str, ...] = ("repro/net/clock.py",)
+    #: The only files allowed to use global/unseeded randomness (CDE002).
+    rng_allow: tuple[str, ...] = ("repro/net/rng.py",)
+    #: Result paths where unordered iteration leaks into output (CDE003).
+    ordered_paths: tuple[str, ...] = (
+        "repro/study/", "repro/core/", "repro/server/",
+    )
+    #: ``path::function`` shard-worker entry points (CDE004).
+    shard_entries: tuple[str, ...] = ("repro/study/parallel.py::run_shard",)
+    #: Packages whose public API must be fully annotated (CDE006).
+    typed_paths: tuple[str, ...] = (
+        "repro/study/", "repro/core/", "repro/server/", "repro/lint/",
+    )
+    #: Rule IDs disabled globally.
+    disable: tuple[str, ...] = ()
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Config from ``[tool.cdelint]``; defaults when absent."""
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        section = data.get("tool", {}).get("cdelint", {})
+        return cls.from_mapping(section)
+
+    @classmethod
+    def from_mapping(cls, section: dict[str, Any]) -> "LintConfig":
+        known = {f.name for f in fields(cls)}
+        overrides: dict[str, Any] = {}
+        for raw_key, value in section.items():
+            key = raw_key.replace("-", "_")
+            if key not in known:
+                raise ValueError(f"unknown [tool.cdelint] key: {raw_key!r}")
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ValueError(
+                    f"[tool.cdelint] {raw_key!r} must be a list of strings"
+                )
+            overrides[key] = tuple(value)
+        return replace(cls(), **overrides)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

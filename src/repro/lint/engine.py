@@ -1,0 +1,92 @@
+"""The cdelint engine: collect files, parse once, run every rule.
+
+Two passes: all files are parsed into :class:`ModuleInfo` first (building
+the :class:`ProjectContext` whole-program indexes), then per-module rules
+run file by file and project rules run once.  Suppression comments are
+honoured centrally so individual rules never need to know about them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import LintConfig, path_matches_any
+from .findings import Finding, LintReport
+from .module import ModuleInfo, ModuleParseError, load_module
+from .registry import ProjectContext, Rule, instantiate
+from .rules.iteration import collect_set_returning
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+def iter_python_files(paths: Sequence[Path],
+                      config: LintConfig) -> list[Path]:
+    """Sorted, deduplicated ``.py`` files under ``paths``."""
+    collected: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                collected.add(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in path.rglob("*.py"):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            collected.add(candidate)
+    files = sorted(collected)
+    return [
+        path for path in files
+        if not path_matches_any(path.as_posix(), config.exclude)
+    ]
+
+
+def _relativize(path: Path) -> str:
+    """Posix path relative to the working directory when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(paths: Sequence[Path | str],
+             config: LintConfig | None = None,
+             select: Iterable[str] | None = None) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport` (pure; no I/O side
+    effects beyond reading the files)."""
+    config = config or LintConfig()
+    rules: list[Rule] = instantiate(select, disabled=config.disable)
+
+    report = LintReport(rules_run=tuple(rule.rule_id for rule in rules))
+    modules: list[ModuleInfo] = []
+    for path in iter_python_files([Path(p) for p in paths], config):
+        try:
+            modules.append(load_module(path, _relativize(path)))
+        except ModuleParseError as exc:
+            report.parse_errors.append(str(exc))
+    report.files_checked = len(modules)
+
+    ctx = ProjectContext(
+        config=config,
+        modules=modules,
+        set_returning_callables=collect_set_returning(modules),
+    )
+
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check_module(module, ctx):
+                if not module.is_suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    module_by_rel = {module.rel: module for module in modules}
+    for rule in rules:
+        for finding in rule.check_project(ctx):
+            module = module_by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(
+                    finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+
+    report.findings = sorted(set(findings))
+    return report

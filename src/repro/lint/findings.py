@@ -1,0 +1,87 @@
+"""Finding model and report serialisation for cdelint.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects with a total order so reports are deterministic: the
+same tree always produces byte-identical human and JSON output, which is
+what lets ``LINT_baseline.json`` be committed and diffed across PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Version of the JSON report layout.  Bump on breaking changes so that
+#: baseline diffs across PRs stay interpretable.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str           # posix path as given on the command line
+    line: int           # 1-based
+    col: int            # 0-based (ast convention)
+    rule_id: str        # e.g. "CDE001"
+    message: str
+    symbol: str = ""    # enclosing function/class qualname, when known
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        suffix = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule_id} {self.message}{suffix}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+@dataclass
+class LintReport:
+    """The outcome of one linter run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {rule_id: 0 for rule_id in self.rules_run}
+        for finding in self.findings:
+            out[finding.rule_id] = out.get(finding.rule_id, 0) + 1
+        return {rule_id: out[rule_id] for rule_id in sorted(out)}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "tool": "cdelint",
+            "files_checked": self.files_checked,
+            "rules_run": sorted(self.rules_run),
+            "counts": self.counts(),
+            "findings": [f.to_json() for f in sorted(self.findings)],
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def render_human(self) -> str:
+        lines = [finding.render() for finding in sorted(self.findings)]
+        lines.extend(f"error: {message}" for message in self.parse_errors)
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.ok:
+            lines.append(f"cdelint: {self.files_checked} {noun} checked, clean")
+        else:
+            lines.append(
+                f"cdelint: {self.files_checked} {noun} checked, "
+                f"{len(self.findings)} finding(s)"
+            )
+        return "\n".join(lines)

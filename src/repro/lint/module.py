@@ -1,0 +1,109 @@
+"""Parsed source files and suppression comments.
+
+A :class:`ModuleInfo` bundles one file's AST with its parsed suppression
+comments.  Suppressions are explicit and auditable:
+
+* ``# cdelint: disable=CDE001`` on a flagged line suppresses the listed
+  rules (comma-separated; ``all`` suppresses every rule) for that line.
+  For a multi-line statement the comment goes on the statement's first
+  line — the line the finding is reported at.
+* ``# cdelint: disable-file=CDE003`` anywhere in the file suppresses the
+  listed rules for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SUPPRESS_ALL = "all"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*cdelint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    rules = {token.strip() for token in raw.split(",") if token.strip()}
+    return frozenset(
+        SUPPRESS_ALL if rule.lower() == SUPPRESS_ALL else rule.upper()
+        for rule in rules
+    )
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its suppression map."""
+
+    path: Path
+    rel: str                      # posix path used in findings and scoping
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_suppressions: frozenset[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        for scope in (self.file_suppressions,
+                      self.line_suppressions.get(line, frozenset())):
+            if rule_id in scope or SUPPRESS_ALL in scope:
+                return True
+        return False
+
+
+class ModuleParseError(Exception):
+    """Raised when a checked file cannot be read or parsed."""
+
+
+def parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract per-line and per-file suppression sets from comments."""
+    per_line: dict[int, frozenset[str]] = {}
+    per_file: frozenset[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, per_file
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if not rules:
+            continue
+        if match.group("kind") == "disable-file":
+            per_file = per_file | rules
+        else:
+            line = token.start[0]
+            per_line[line] = per_line.get(line, frozenset()) | rules
+    return per_line, per_file
+
+
+def load_module(path: Path, rel: str) -> ModuleInfo:
+    """Parse ``path`` into a :class:`ModuleInfo`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ModuleParseError(f"{rel}: cannot read: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        raise ModuleParseError(
+            f"{rel}:{exc.lineno or 0}: syntax error: {exc.msg}"
+        ) from exc
+    per_line, per_file = parse_suppressions(source)
+    return ModuleInfo(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        line_suppressions=per_line,
+        file_suppressions=per_file,
+    )

@@ -1,0 +1,97 @@
+"""Rule base class, registry and project-wide context.
+
+Rules register themselves via the :func:`register` decorator at import
+time (importing :mod:`repro.lint.rules` pulls in every rule module).  A
+rule sees one module at a time through :meth:`Rule.check_module`;
+whole-program rules (the shard-purity call-graph walk) additionally
+implement :meth:`Rule.check_project`, which runs once after every module
+has been parsed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Type
+
+from .config import LintConfig
+from .findings import Finding
+from .module import ModuleInfo
+
+
+@dataclass
+class ProjectContext:
+    """Everything a rule may consult beyond the module it is checking."""
+
+    config: LintConfig
+    modules: list[ModuleInfo] = field(default_factory=list)
+    #: Simple names of project callables whose return annotation is a
+    #: set type — used by CDE003 to flag iteration over their results.
+    set_returning_callables: frozenset[str] = frozenset()
+
+    def module_by_suffix(self, suffix: str) -> ModuleInfo | None:
+        for module in self.modules:
+            if ("/" + module.rel).endswith("/" + suffix.lstrip("/")):
+                return module
+        return None
+
+
+class Rule:
+    """Base class for cdelint rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_module(
+        self, module: ModuleInfo, ctx: ProjectContext
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str,
+                symbol: str = "") -> Finding:
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            symbol=symbol,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """Registered rules, importing the bundled rule set on first use."""
+    from . import rules as _rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def instantiate(selected: Iterable[str] | None = None,
+                disabled: Iterable[str] = ()) -> list[Rule]:
+    """Rule instances for a run, honouring ``--select`` and config disables."""
+    registry = all_rules()
+    if selected is not None:
+        wanted = [rule_id.upper() for rule_id in selected]
+        unknown = [rule_id for rule_id in wanted if rule_id not in registry]
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        return [registry[rule_id]() for rule_id in wanted]
+    skip = {rule_id.upper() for rule_id in disabled}
+    return [cls() for rule_id, cls in registry.items() if rule_id not in skip]

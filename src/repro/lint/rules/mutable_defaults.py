@@ -1,0 +1,59 @@
+"""CDE005 — no mutable default arguments.
+
+Invariant: a mutable default (``def f(x, acc=[])``) is evaluated once at
+import time and shared across calls, so state leaks between invocations
+— between *platforms* when the function sits on a measurement path, and
+between *shards* when the in-process executor reuses a module.  Defaults
+must be ``None``-and-construct, a frozen value, or a dataclass
+``field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import iter_function_defs
+from ..findings import Finding
+from ..module import ModuleInfo
+from ..registry import ProjectContext, Rule, register
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "CDE005"
+    name = "mutable-default"
+    summary = "mutable default arguments share state across calls"
+
+    def check_module(
+        self, module: ModuleInfo, ctx: ProjectContext
+    ) -> Iterator[Finding]:
+        for func, qualname, _is_method in iter_function_defs(module.tree):
+            args = func.args
+            defaults = list(args.defaults)
+            defaults.extend(d for d in args.kw_defaults if d is not None)
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {func.name}() — use "
+                        f"None and construct inside, or a frozen value",
+                        symbol=qualname,
+                    )

@@ -1,0 +1,89 @@
+"""CDE006 — public APIs on measurement paths are fully annotated.
+
+Invariant: the strict mypy gate (``[tool.mypy]`` in pyproject.toml) can
+only hold the line if annotations exist to check.  Every *public*
+function or method (name without a leading underscore, not nested inside
+another function) in the configured packages must annotate every
+parameter (``self``/``cls`` excepted, ``*args``/``**kwargs`` included)
+and its return type.  This rule is the dependency-free mirror of
+``disallow_incomplete_defs`` so the gate also runs where mypy is not
+installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import path_matches_any
+from ..findings import Finding
+from ..module import ModuleInfo
+from ..registry import ProjectContext, Rule, register
+
+
+def _missing_annotations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    args = func.args
+    missing: list[str] = []
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    missing.extend(
+        arg.arg for arg in args.kwonlyargs if arg.annotation is None
+    )
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    rule_id = "CDE006"
+    name = "public-annotations"
+    summary = "un-annotated public API escapes the strict typing gate"
+
+    def check_module(
+        self, module: ModuleInfo, ctx: ProjectContext
+    ) -> Iterator[Finding]:
+        if not path_matches_any(module.rel, ctx.config.typed_paths):
+            return
+        for func, qualname, is_method in self._public_defs(module.tree):
+            missing = _missing_annotations(func)
+            if missing:
+                yield self.finding(
+                    module, func,
+                    f"public {'method' if is_method else 'function'} "
+                    f"{func.name}() missing annotations: "
+                    f"{', '.join(missing)}",
+                    symbol=qualname,
+                )
+
+    def _public_defs(self, tree: ast.Module) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool]]:
+        """Public defs at module or class level (not nested in functions)."""
+
+        def visit(node: ast.AST, prefix: str, in_class: bool) -> Iterator[
+                tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool]]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if child.name.startswith("_"):
+                        continue
+                    qualname = (f"{prefix}.{child.name}" if prefix
+                                else child.name)
+                    yield child, qualname, in_class
+                elif isinstance(child, ast.ClassDef):
+                    if child.name.startswith("_"):
+                        continue
+                    qualname = (f"{prefix}.{child.name}" if prefix
+                                else child.name)
+                    yield from visit(child, qualname, True)
+
+        yield from visit(tree, "", False)

@@ -25,7 +25,7 @@ from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import group_rrsets
 from ..dns.rrtype import RCode, RRType
-from ..net.network import Network
+from ..net.network import LinkProfile, Network
 
 
 class ForwardingResolver:
@@ -43,7 +43,7 @@ class ForwardingResolver:
         self.cache = cache  # None == pure relay, no caching logic at all
         self.rng = rng or random.Random(0)
 
-    def attach(self, profile=None) -> None:
+    def attach(self, profile: Optional[LinkProfile] = None) -> None:
         self.network.register(self.listen_ip, self, profile)
 
     # -- Endpoint protocol ---------------------------------------------------

@@ -25,7 +25,7 @@ from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import ARdata, ResourceRecord
 from ..dns.rrtype import RCode, RRType
-from ..net.network import Network
+from ..net.network import LinkProfile, Network
 
 
 @dataclass
@@ -53,7 +53,7 @@ class MisbehavingResolver:
         self.misbehavior = misbehavior
         self.tampered_responses = 0
 
-    def attach(self, profile=None) -> None:
+    def attach(self, profile: Optional[LinkProfile] = None) -> None:
         self.network.register(self.listen_ip, self, profile)
 
     def handle_message(self, message: DnsMessage, src_ip: str,

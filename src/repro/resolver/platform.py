@@ -25,14 +25,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cache.cache import DnsCache
-from ..cache.entry import EntryKind
+from ..cache.entry import CacheEntry, EntryKind
 from ..cache.software import BIND9_LIKE, CacheSoftwareProfile
 from ..dns.errors import ResolutionError
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import CnameRdata, RRSet
 from ..dns.rrtype import RCode, RRType
-from ..net.network import Network
+from ..net.network import LinkProfile, Network
 from .iterative import IterativeResolver, ResolutionResult
 from .selection import (
     CacheSelector,
@@ -145,7 +145,7 @@ class ResolutionPlatform:
 
     # -- registration ---------------------------------------------------------
 
-    def attach(self, profile=None) -> None:
+    def attach(self, profile: Optional[LinkProfile] = None) -> None:
         """Register all ingress and egress IPs on the network."""
         for ip in self.config.ingress_ips:
             self.network.register(ip, self, profile)
@@ -316,7 +316,7 @@ class ResolutionPlatform:
         return chain, RCode.SERVFAIL
 
     def _maybe_prefetch(self, cache: DnsCache, qname: DnsName,
-                        qtype: RRType, entry) -> None:
+                        qtype: RRType, entry: "CacheEntry") -> None:
         """Refresh a nearly expired entry after serving it (BIND-style).
 
         The client sees the cached answer; the refresh is an extra

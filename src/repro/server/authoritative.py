@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
+from ..dns.record import ResourceRecord
 from ..dns.rrtype import RCode, RRType
 from ..dns.zone import LookupKind, Zone
 from ..net.network import Network
@@ -145,8 +146,9 @@ class AuthoritativeServer:
             return None
         return self.edns_payload_size
 
-    def _chase_cname_in_zone(self, zone: Zone, cname_record, query: DnsMessage,
-                             response: DnsMessage, max_depth: int = 8) -> None:
+    def _chase_cname_in_zone(self, zone: Zone, cname_record: "ResourceRecord",
+                             query: DnsMessage, response: DnsMessage,
+                             max_depth: int = 8) -> None:
         """Append in-zone CNAME targets to the answer (full responses only)."""
         from ..dns.record import CnameRdata
 

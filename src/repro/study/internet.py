@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from ..client.proxy import WebProxy
+    from ..resolver.multipool import MultiPoolPlatform
 
 from ..client.browser import Browser
 from ..client.smtp import SmtpAuthPolicy, SmtpServer
@@ -169,7 +173,8 @@ class SimulatedInternet:
 
     def add_multipool_platform(self, pool_shapes: list[tuple[int, int, int]],
                                name: Optional[str] = None,
-                               selector: str = "uniform-random"):
+                               selector: str = "uniform-random",
+                               ) -> "MultiPoolPlatform":
         """A platform whose ingress IPs are partitioned into cache pools.
 
         ``pool_shapes`` is a list of (n_ingress, n_caches, n_egress) per
@@ -222,11 +227,13 @@ class SimulatedInternet:
             rng=self.rng_factory.stream(f"stub/{host_ip}"),
         )
 
-    def make_browser(self, hosted: HostedPlatform, proxy=None) -> Browser:
+    def make_browser(self, hosted: HostedPlatform,
+                     proxy: Optional["WebProxy"] = None) -> Browser:
         stub = self.make_stub(hosted)
         return Browser(stub.host_ip, stub, self.network, proxy=proxy)
 
-    def make_proxy(self, hosted: HostedPlatform, name: str = "proxy"):
+    def make_proxy(self, hosted: HostedPlatform,
+                   name: str = "proxy") -> "WebProxy":
         """A shared web proxy resolving through ``hosted``'s platform."""
         from ..client.proxy import WebProxy
 
@@ -260,6 +267,6 @@ class SimulatedInternet:
         return study.run(ingress_ips)
 
 
-def build_world(seed: int = 0, **overrides) -> SimulatedInternet:
+def build_world(seed: int = 0, **overrides: Any) -> SimulatedInternet:
     """The canonical entry point used by examples, tests and benches."""
     return SimulatedInternet(WorldConfig(seed=seed, **overrides))

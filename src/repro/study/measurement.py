@@ -21,6 +21,7 @@ from ..core.bypass import CnameChainBypass
 from ..core.enumeration import enumerate_adaptive
 from ..core.mapping import discover_egress_ips
 from ..core.prober import IndirectProber
+from ..dns.rrtype import RRType
 from .internet import HostedPlatform, SimulatedInternet
 from .population import PlatformSpec
 
@@ -108,7 +109,7 @@ def measure_direct(world: SimulatedInternet, hosted: HostedPlatform,
 def _measure_indirect(world: SimulatedInternet, hosted: HostedPlatform,
                       prober: IndirectProber, technique: str,
                       budget: MeasurementBudget,
-                      count_qtype) -> PlatformMeasurement:
+                      count_qtype: Optional[RRType]) -> PlatformMeasurement:
     spec = hosted.spec
     # Enumerate with a CNAME chain sized by the coupon bound for the prior.
     q = min(budget.max_enumeration_queries,

@@ -186,6 +186,6 @@ class PopulationGenerator:
 
 
 def generate_population(population: str, count: int, seed: int = 0,
-                        **caps) -> list[PlatformSpec]:
+                        **caps: Optional[int]) -> list[PlatformSpec]:
     """Convenience: ``count`` specs of one population."""
     return PopulationGenerator(population, seed=seed, **caps).draw_many(count)

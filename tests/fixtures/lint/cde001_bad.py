@@ -1,0 +1,18 @@
+"""CDE001 bad fixture: wall-clock reads outside net/clock.py."""
+
+import time
+from datetime import date, datetime
+from time import monotonic
+
+
+def sample_timestamp() -> float:
+    return time.time()                    # CDE001
+
+
+def sample_monotonic() -> float:
+    return monotonic()                    # CDE001 (from-import alias)
+
+
+def sample_datetime() -> str:
+    stamp = datetime.now()                # CDE001
+    return f"{stamp} {date.today()}"      # CDE001

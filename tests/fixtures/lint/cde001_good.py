@@ -1,0 +1,17 @@
+"""CDE001 good fixture: virtual time and sanctioned perf sampling."""
+
+import time
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+
+def sample_virtual(clock: FakeClock) -> float:
+    return clock.now
+
+
+def sample_perf() -> float:
+    # perf_counter is allowed: it feeds performance counters, never rows.
+    return time.perf_counter()

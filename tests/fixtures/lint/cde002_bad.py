@@ -1,0 +1,15 @@
+"""CDE002 bad fixture: global and unseeded randomness."""
+
+import random
+
+random.seed(1234)                         # CDE002 (module level, global state)
+
+_JITTER = random.random()                 # CDE002 (module level draw)
+
+
+def draw_unseeded() -> random.Random:
+    return random.Random()                # CDE002 (unseeded)
+
+
+def draw_global() -> int:
+    return random.randint(0, 10)          # CDE002 (global-state draw)

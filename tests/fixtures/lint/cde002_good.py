@@ -1,0 +1,11 @@
+"""CDE002 good fixture: seeded streams and explicit rng parameters."""
+
+import random
+
+
+def draw_seeded(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw_from_parameter(rng: random.Random) -> int:
+    return rng.randint(0, 10)

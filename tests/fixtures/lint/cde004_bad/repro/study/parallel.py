@@ -1,0 +1,16 @@
+"""CDE004 bad fixture: per-process state reachable from the shard worker."""
+
+import os
+
+
+def _read_config() -> str:
+    return os.environ.get("REPRO_MODE", "sim")            # CDE004 (depth 2)
+
+
+def _shard_label() -> str:
+    return f"shard-{os.getpid()}"                         # CDE004 (depth 2)
+
+
+def run_shard(task: object) -> list[str]:
+    mode = _read_config()
+    return [mode, _shard_label()]

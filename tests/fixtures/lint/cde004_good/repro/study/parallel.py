@@ -1,0 +1,20 @@
+"""CDE004 good fixture: the shard worker is a pure function of its task.
+
+``os.environ`` use *outside* the worker call graph is allowed — only what
+the entry point reaches must be pure.
+"""
+
+import os
+
+
+def _rows_for(task: object) -> list[str]:
+    return [f"row-{task}"]
+
+
+def run_shard(task: object) -> list[str]:
+    return _rows_for(task)
+
+
+def cli_entry() -> str:
+    # Not reachable from run_shard: fine.
+    return os.environ.get("REPRO_MODE", "sim")

@@ -1,0 +1,15 @@
+"""CDE005 bad fixture: mutable default arguments."""
+
+
+def accumulate(item: int, acc: list = []) -> list:      # CDE005
+    acc.append(item)
+    return acc
+
+
+def tally(key: str, *, counts: dict = {}) -> dict:      # CDE005 (kw-only)
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(seen=set()):                                # CDE005 (set() call)
+    return seen

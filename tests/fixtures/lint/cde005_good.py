@@ -1,0 +1,13 @@
+"""CDE005 good fixture: None-and-construct, frozen defaults."""
+
+from typing import Optional
+
+
+def accumulate(item: int, acc: Optional[list] = None) -> list:
+    acc = [] if acc is None else acc
+    acc.append(item)
+    return acc
+
+
+def label(names: tuple = (), suffix: str = "x") -> tuple:
+    return tuple(f"{name}.{suffix}" for name in names)

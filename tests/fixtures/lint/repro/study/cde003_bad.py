@@ -1,0 +1,30 @@
+"""CDE003 bad fixture: unordered iteration on a result path."""
+
+
+def rows_from_literal() -> list[str]:
+    return [ip for ip in {"10.0.0.2", "10.0.0.1"}]       # CDE003
+
+
+def rows_from_call(sources: list[str]) -> list[str]:
+    out = []
+    for ip in set(sources):                               # CDE003
+        out.append(ip)
+    return out
+
+
+def rows_from_name(sources: list[str]) -> list[str]:
+    distinct = set(sources)
+    return list(ip for ip in distinct)                    # CDE003
+
+
+def rows_from_wrapper(sources: list[str]) -> list[str]:
+    # list() preserves the unordered set order — still a leak.
+    return [ip for ip in list(set(sources))]              # CDE003
+
+
+def names() -> set[str]:
+    return {"a", "b"}
+
+
+def rows_from_annotated_return() -> list[str]:
+    return [item for item in names()]                     # CDE003

@@ -1,0 +1,19 @@
+"""CDE003 good fixture: sorted iteration and non-iterating set use."""
+
+
+def rows_sorted(sources: list[str]) -> list[str]:
+    return [ip for ip in sorted(set(sources))]
+
+
+def membership_only(sources: list[str], wanted: str) -> bool:
+    distinct = set(sources)
+    return wanted in distinct
+
+
+def aggregation_only(sources: list[str]) -> int:
+    return len(set(sources))
+
+
+def ordered_dict_iteration(counts: dict[str, int]) -> list[str]:
+    # dict preserves insertion order — not flagged.
+    return [key for key in counts]

@@ -1,0 +1,16 @@
+"""CDE006 bad fixture: un-annotated public API in a typed package."""
+
+
+def measure(platform, probes: int = 8):                   # CDE006
+    return (platform, probes)
+
+
+class Collector:
+    def add(self, row) -> None:                           # CDE006
+        self.row = row
+
+    def flush(self):                                      # CDE006
+        return getattr(self, "row", None)
+
+    def _internal(self, anything):                        # private: exempt
+        return anything

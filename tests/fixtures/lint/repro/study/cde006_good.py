@@ -1,0 +1,16 @@
+"""CDE006 good fixture: fully annotated public API."""
+
+from typing import Any, Optional
+
+
+def measure(platform: str, probes: int = 8,
+            **options: Any) -> tuple[str, int]:
+    return (platform, probes)
+
+
+class Collector:
+    def add(self, row: Optional[str]) -> None:
+        self.row = row
+
+    def _internal(self, anything):
+        return anything

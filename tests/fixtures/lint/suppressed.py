@@ -1,0 +1,14 @@
+"""Suppression fixture: every violation carries an explicit waiver."""
+
+import time
+
+STARTED_AT = time.time()  # cdelint: disable=CDE001
+
+
+def accumulate(item: int, acc: list = []) -> list:  # cdelint: disable=CDE005
+    acc.append(item)
+    return acc
+
+
+def wall_and_default(acc: dict = {}) -> float:  # cdelint: disable=all
+    return time.monotonic()  # cdelint: disable=CDE001

@@ -1,0 +1,255 @@
+"""cdelint: rule fixtures, suppressions, JSON schema and exit codes.
+
+The fixture corpus under ``tests/fixtures/lint/`` holds one known-bad and
+one known-good snippet per rule (CDE003/CDE006 live under a
+``repro/study/`` subtree because those rules are path-scoped; CDE004 has
+one tree per verdict because its entry point is resolved by path suffix).
+Bad fixtures are driven through the real CLI so exit codes and output
+formats are covered end to end; the engine API is exercised directly for
+finding-level assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, JSON_SCHEMA_VERSION, LintConfig, all_rules, \
+    run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+ALL_RULES = ("CDE001", "CDE002", "CDE003", "CDE004", "CDE005", "CDE006")
+
+#: (rule, bad fixture, good fixture) — CDE004's fixtures are whole trees.
+RULE_FIXTURES = [
+    ("CDE001", "cde001_bad.py", "cde001_good.py"),
+    ("CDE002", "cde002_bad.py", "cde002_good.py"),
+    ("CDE003", "repro/study/cde003_bad.py", "repro/study/cde003_good.py"),
+    ("CDE004", "cde004_bad", "cde004_good"),
+    ("CDE005", "cde005_bad.py", "cde005_good.py"),
+    ("CDE006", "repro/study/cde006_bad.py", "repro/study/cde006_good.py"),
+]
+
+#: Findings each bad fixture must produce (a floor, not an exact count).
+EXPECTED_MIN_FINDINGS = {
+    "CDE001": 4, "CDE002": 4, "CDE003": 5, "CDE004": 2, "CDE005": 3,
+    "CDE006": 3,
+}
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-rule fixtures, through the real CLI
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rule_id,bad,good", RULE_FIXTURES,
+                         ids=[r for r, _, _ in RULE_FIXTURES])
+def test_bad_fixture_fails_with_correct_rule_id(rule_id, bad, good):
+    result = run_cli("--no-config", "--select", rule_id, str(FIXTURES / bad))
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert rule_id in result.stdout
+    findings = [line for line in result.stdout.splitlines()
+                if f" {rule_id} " in line]
+    assert len(findings) >= EXPECTED_MIN_FINDINGS[rule_id], result.stdout
+
+
+@pytest.mark.parametrize("rule_id,bad,good", RULE_FIXTURES,
+                         ids=[r for r, _, _ in RULE_FIXTURES])
+def test_good_fixture_is_clean_under_all_rules(rule_id, bad, good):
+    result = run_cli("--no-config", str(FIXTURES / good))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_bad_fixtures_do_not_trip_unrelated_rules():
+    # Each bad fixture, run under every *other* rule, stays clean — the
+    # corpus isolates one invariant per file.
+    for rule_id, bad, _good in RULE_FIXTURES:
+        others = ",".join(r for r in ALL_RULES if r != rule_id)
+        result = run_cli("--no-config", "--select", others,
+                         str(FIXTURES / bad))
+        assert result.returncode == 0, (rule_id, result.stdout)
+
+
+# ---------------------------------------------------------------------------
+# finding details, through the engine API
+# ---------------------------------------------------------------------------
+
+def test_cde001_reports_symbol_and_location():
+    report = run_lint([FIXTURES / "cde001_bad.py"], select=["CDE001"])
+    assert not report.parse_errors
+    by_symbol = {f.symbol for f in report.findings}
+    assert "sample_timestamp" in by_symbol
+    assert all(f.path.endswith("cde001_bad.py") for f in report.findings)
+    assert all(f.line > 0 for f in report.findings)
+
+
+def test_cde002_distinguishes_unseeded_from_global_draws():
+    report = run_lint([FIXTURES / "cde002_bad.py"], select=["CDE002"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "unseeded random.Random()" in messages
+    assert "random.randint" in messages
+
+
+def test_cde003_flags_annotated_set_returning_call():
+    report = run_lint([FIXTURES / "repro/study/cde003_bad.py"],
+                      select=["CDE003"])
+    symbols = {f.symbol for f in report.findings}
+    assert "rows_from_annotated_return" in symbols
+
+
+def test_cde004_reports_call_chain_from_entry():
+    report = run_lint([FIXTURES / "cde004_bad"], select=["CDE004"])
+    assert report.findings, "impure worker tree must be flagged"
+    for finding in report.findings:
+        assert "run_shard" in finding.message
+    labels = " | ".join(f.message for f in report.findings)
+    assert "os.environ" in labels
+    assert "os.getpid" in labels
+
+
+def test_cde006_names_the_missing_annotations():
+    report = run_lint([FIXTURES / "repro/study/cde006_bad.py"],
+                      select=["CDE006"])
+    messages = {f.symbol: f.message for f in report.findings}
+    assert "platform" in messages["measure"]
+    assert "return" in messages["measure"]
+    assert "row" in messages["Collector.add"]
+    assert "Collector._internal" not in messages
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+# ---------------------------------------------------------------------------
+
+def test_line_suppressions_silence_only_the_waived_rules():
+    result = run_cli("--no-config", str(FIXTURES / "suppressed.py"))
+    assert result.returncode == 0, result.stdout
+
+    # The same file minus suppressions does fail.
+    report = run_lint([FIXTURES / "suppressed.py"],
+                      select=["CDE001", "CDE005"])
+    assert not report.findings  # engine honours them too
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    snippet = tmp_path / "wrong_rule.py"
+    snippet.write_text(
+        "import time\n\n"
+        "def f() -> float:\n"
+        "    return time.time()  # cdelint: disable=CDE005\n"
+    )
+    report = run_lint([snippet], select=["CDE001"])
+    assert len(report.findings) == 1  # waiving CDE005 does not cover CDE001
+
+
+def test_file_level_suppression():
+    result = run_cli("--no-config", str(FIXTURES / "suppressed_file.py"))
+    assert result.returncode == 0, result.stdout
+
+
+# ---------------------------------------------------------------------------
+# JSON report schema and exit codes
+# ---------------------------------------------------------------------------
+
+def test_json_report_schema_on_bad_fixture():
+    result = run_cli("--no-config", "--json", str(FIXTURES / "cde001_bad.py"))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "cdelint"
+    assert payload["files_checked"] == 1
+    assert payload["rules_run"] == sorted(ALL_RULES)
+    assert payload["parse_errors"] == []
+    assert payload["counts"]["CDE001"] == len(payload["findings"])
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message",
+                                "symbol"}
+        assert finding["rule"] == "CDE001"
+    # Deterministic ordering: (path, line, col, rule).
+    keys = [(f["path"], f["line"], f["col"], f["rule"])
+            for f in payload["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_json_report_clean_tree():
+    result = run_cli("--no-config", "--json", str(FIXTURES / "cde001_good.py"))
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["findings"] == []
+    assert all(count == 0 for count in payload["counts"].values())
+
+
+def test_exit_code_2_on_unknown_rule_and_missing_path(tmp_path):
+    assert run_cli("--select", "CDE999", str(FIXTURES)).returncode == 2
+    assert run_cli(str(tmp_path / "does-not-exist")).returncode == 2
+
+
+def test_parse_error_reported_and_nonzero(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    result = run_cli("--no-config", str(broken))
+    assert result.returncode == 1
+    assert "syntax error" in result.stdout
+
+
+def test_list_rules_covers_the_documented_set():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ALL_RULES:
+        assert rule_id in result.stdout
+    assert set(all_rules()) == set(ALL_RULES)
+
+
+# ---------------------------------------------------------------------------
+# config and repo-tree gate
+# ---------------------------------------------------------------------------
+
+def test_pyproject_config_roundtrip(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.cdelint]\n"
+        'ordered-paths = ["mypkg/results/"]\n'
+        'disable = ["CDE006"]\n'
+    )
+    config = LintConfig.from_pyproject(pyproject)
+    assert config.ordered_paths == ("mypkg/results/",)
+    assert config.disable == ("CDE006",)
+    # Untouched knobs keep their defaults.
+    assert config.shard_entries == ("repro/study/parallel.py::run_shard",)
+
+    with pytest.raises(ValueError):
+        LintConfig.from_mapping({"no-such-knob": ["x"]})
+    with pytest.raises(ValueError):
+        LintConfig.from_mapping({"disable": "CDE001"})
+
+
+def test_findings_are_value_objects():
+    finding = Finding(path="a.py", line=3, col=0, rule_id="CDE001",
+                      message="m")
+    assert finding == Finding(path="a.py", line=3, col=0, rule_id="CDE001",
+                              message="m")
+    assert "CDE001" in finding.render()
+
+
+def test_repository_tree_is_lint_clean():
+    """The acceptance gate: `python -m repro.lint src/` exits 0."""
+    result = run_cli("src")
+    assert result.returncode == 0, result.stdout
+    assert "clean" in result.stdout
