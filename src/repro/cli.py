@@ -89,14 +89,18 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    from .core.resilient import RETRY_PROFILES
+    from .net.faults import FAULT_PROFILES
     from .study import (
         build_world,
         format_bubbles,
         format_cdf_series,
         format_perf,
         format_ratio_breakdown,
+        format_resilience,
         measurements_csv,
         regenerate_all,
+        resilience_summary,
         table1_csv,
     )
     from .study.figures import DEFAULT_CAPS
@@ -104,7 +108,19 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return 2
-    world = build_world(seed=args.seed)
+    if args.fault_profile not in FAULT_PROFILES:
+        print(f"error: unknown --fault-profile {args.fault_profile!r} "
+              f"(known: {', '.join(sorted(FAULT_PROFILES))})",
+              file=sys.stderr)
+        return 2
+    if args.retry_profile not in RETRY_PROFILES:
+        print(f"error: unknown --retry-profile {args.retry_profile!r} "
+              f"(known: {', '.join(sorted(RETRY_PROFILES))})",
+              file=sys.stderr)
+        return 2
+    world = build_world(seed=args.seed,
+                        fault_profile=args.fault_profile,
+                        retry_profile=args.retry_profile)
     sizes = {population: args.count
              for population in ("open-resolvers", "email-servers",
                                 "ad-network")}
@@ -124,6 +140,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                                  title="Figure 6: IP/cache ratio categories"))
     print()
     print(format_perf(data.perf))
+    all_rows = [row for rows in data.measurements.values() for row in rows]
+    degradation = resilience_summary(all_rows)
+    if (degradation.degraded_platforms or degradation.fault_exposure
+            or args.fault_profile != "none" or args.retry_profile != "none"):
+        print()
+        print(format_resilience(
+            degradation,
+            title=f"measurement degradation (faults={args.fault_profile}, "
+                  f"retry={args.retry_profile})"))
     if args.bubbles:
         for population, figure in (("open-resolvers", "Figure 5"),
                                    ("email-servers", "Figure 7"),
@@ -335,6 +360,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="measure through the sharded parallel engine "
                               "on N worker processes (0 = in-process shards; "
                               "omit for the sequential pipeline)")
+    figures.add_argument("--fault-profile", default="none",
+                         help="named fault profile to measure under "
+                              "(seed-deterministic; see repro.net.faults."
+                              "FAULT_PROFILES; default: none)")
+    figures.add_argument("--retry-profile", default="none",
+                         help="named retry/backoff policy for the probers "
+                              "(see repro.core.resilient.RETRY_PROFILES; "
+                              "default: none)")
     figures.add_argument("--bubbles", action="store_true",
                          help="also print the Figure 5/7/8 bubble tables")
     figures.add_argument("--out", default=None,

@@ -75,6 +75,18 @@ from .poisoning import (
     simulate_campaign,
 )
 from .prober import BrowserProber, DirectProber, IndirectProber, ProbeResult, SmtpProber
+from .resilient import (
+    PAPER_RETRY,
+    RETRY_PROFILES,
+    ZERO_RETRY,
+    AttemptRecord,
+    DegradationTally,
+    ProbeFailure,
+    ResilienceSummary,
+    RetryBudget,
+    RetryPolicy,
+    retry_policy,
+)
 from .resilience import (
     FailureReport,
     detect_cache_failures,
@@ -103,6 +115,9 @@ from .ttlcheck import (
 )
 
 __all__ = [
+    "AttemptRecord", "DegradationTally", "PAPER_RETRY", "ProbeFailure",
+    "RETRY_PROFILES", "ResilienceSummary", "RetryBudget", "RetryPolicy",
+    "ZERO_RETRY", "retry_policy",
     "BrowserProber", "BypassEnumerationResult", "CacheCluster",
     "AttackerModel", "CacheCountEstimate", "CampaignResult", "CarpetProber",
     "CdeInfrastructure", "CdeStudy",

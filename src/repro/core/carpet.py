@@ -17,13 +17,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..dns.name import DnsName
 from ..dns.rrtype import RRType
 from ..net.network import Network
 from .infrastructure import CdeInfrastructure
 from .prober import DirectProber, ProbeResult
+
+if TYPE_CHECKING:
+    from .resilient import RetryBudget, RetryPolicy
 
 
 @dataclass
@@ -102,6 +105,20 @@ class CarpetProber:
     @property
     def queries_sent(self) -> int:
         return self.prober.queries_sent
+
+    # Resilience surface, delegated to the wrapped prober so carpet probing
+    # composes with an active retry policy and its budget accounting.
+    @property
+    def policy(self) -> Optional["RetryPolicy"]:
+        return self.prober.policy
+
+    @property
+    def retry_budget(self) -> Optional["RetryBudget"]:
+        return self.prober.retry_budget
+
+    @retry_budget.setter
+    def retry_budget(self, budget: Optional["RetryBudget"]) -> None:
+        self.prober.retry_budget = budget
 
     def probe(self, ingress_ip: str, qname: DnsName,
               qtype: RRType = RRType.A,

@@ -35,6 +35,7 @@ from .analysis import (
 )
 from .infrastructure import CdeInfrastructure
 from .prober import DirectProber
+from .resilient import RetryBudget
 
 
 @dataclass
@@ -169,13 +170,20 @@ def enumerate_adaptive(cde: CdeInfrastructure, prober: DirectProber,
                        initial_q: int = 8,
                        confidence: float = 0.99,
                        max_q: int = 4096,
-                       qtype: RRType = RRType.A) -> DirectEnumerationResult:
+                       qtype: RRType = RRType.A,
+                       retry_budget: Optional[RetryBudget] = None
+                       ) -> DirectEnumerationResult:
     """Direct enumeration without a prior on n.
 
     Starts with ``initial_q`` probes of one fresh name and keeps probing
     the *same* name until the total query count reaches the
     coupon-collector budget for the current arrival count (so the final q
     satisfies the §V-B bound for the measured n), or ``max_q`` is hit.
+
+    When the prober runs an active retry policy, retries are charged to
+    ``retry_budget``; with none supplied, one is derived from the same
+    coupon-collector bound that drives the stopping rule (so retrying can
+    spend at most ``budget_fraction`` of the planned query count).
     """
     if initial_q < 1:
         raise ValueError("initial_q must be positive")
@@ -191,16 +199,31 @@ def enumerate_adaptive(cde: CdeInfrastructure, prober: DirectProber,
                 delivered += 1
             sent += 1
 
-    send(initial_q)
-    while sent < max_q:
-        arrivals = cde.count_queries_for(name, since=since, qtype=qtype)
-        # Budget against one MORE cache than observed: stopping is only
-        # sound once enough probes have gone out that an (arrivals+1)-th
-        # cache would almost surely have been hit.
-        needed = queries_for_confidence(arrivals + 1, confidence)
-        if sent >= needed:
-            break
-        send(min(needed - sent, max_q - sent))
+    saved_budget = prober.retry_budget
+    try:
+        if prober.policy is not None and retry_budget is None:
+            retry_budget = RetryBudget.for_confidence(
+                2, confidence, prober.policy)
+        prober.retry_budget = retry_budget
+
+        send(initial_q)
+        while sent < max_q:
+            arrivals = cde.count_queries_for(name, since=since, qtype=qtype)
+            # Budget against one MORE cache than observed: stopping is only
+            # sound once enough probes have gone out that an (arrivals+1)-th
+            # cache would almost surely have been hit.
+            needed = queries_for_confidence(arrivals + 1, confidence)
+            if sent >= needed:
+                break
+            if retry_budget is not None:
+                # Grow the retry allowance with the measured plan.
+                grown = RetryBudget.for_confidence(
+                    arrivals + 1, confidence, prober.policy)
+                if grown.total > retry_budget.total:
+                    retry_budget.total = grown.total
+            send(min(needed - sent, max_q - sent))
+    finally:
+        prober.retry_budget = saved_budget
 
     arrivals = cde.count_queries_for(name, since=since, qtype=qtype)
     estimate = CacheCountEstimate(

@@ -28,8 +28,15 @@ from ..client.smtp import SmtpServer
 from ..dns.errors import QueryTimeout
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
-from ..dns.rrtype import RRType
+from ..dns.rrtype import RCode, RRType
 from ..net.network import Network, Transaction
+from .resilient import (
+    AttemptRecord,
+    DegradationTally,
+    ProbeFailure,
+    RetryBudget,
+    RetryPolicy,
+)
 
 
 @dataclass
@@ -41,21 +48,44 @@ class ProbeResult:
     delivered: bool
     rtt: Optional[float] = None
     transaction: Optional[Transaction] = None
+    #: Probe-level attempts made by an active retry policy (1 otherwise).
+    attempts: int = 1
+    #: True when an active policy exhausted its attempts with no answer.
+    gave_up: bool = False
 
 
 class DirectProber:
-    """A measurement host with direct access to ingress IPs."""
+    """A measurement host with direct access to ingress IPs.
+
+    With no ``policy`` (or an inactive one) the prober behaves exactly like
+    the seed toolkit: a single probe-level attempt whose retransmissions are
+    the network layer's.  An *active* :class:`RetryPolicy` takes over
+    retrying: each attempt runs with ``policy.per_attempt_timeout`` and
+    ``policy.network_retries``, failed attempts back off on the virtual
+    clock with seeded jitter from ``retry_rng``, and every retry is charged
+    to ``retry_budget`` (when installed) so resilience can never blow the
+    §V-B query plan.
+    """
 
     def __init__(self, prober_ip: str, network: Network,
                  rng: Optional[random.Random] = None,
                  timeout: float = Network.DEFAULT_TIMEOUT,
-                 retries: int = Network.DEFAULT_RETRIES):
+                 retries: int = Network.DEFAULT_RETRIES,
+                 policy: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[random.Random] = None,
+                 tally: Optional[DegradationTally] = None):
         self.prober_ip = prober_ip
         self.network = network
         self.rng = rng or random.Random(0)
         self.timeout = timeout
         self.retries = retries
         self.queries_sent = 0
+        self.policy = policy if policy is not None and policy.active else None
+        self.retry_rng = retry_rng or random.Random(0)
+        self.tally = tally
+        #: Installed by the measurement layer around an enumeration
+        #: (:func:`~repro.core.enumeration.enumerate_adaptive`).
+        self.retry_budget: Optional[RetryBudget] = None
 
     def query(self, ingress_ip: str, qname: DnsName,
               qtype: RRType = RRType.A,
@@ -63,24 +93,90 @@ class DirectProber:
         """One query/response transaction; raises on total loss.
 
         Truncated (TC) responses are retried over TCP, like any real
-        client.
+        client.  Under an active retry policy, total loss raises
+        :class:`ProbeFailure` carrying the attempt history; otherwise the
+        network's plain :class:`QueryTimeout` propagates, as it always did.
         """
+        if self.policy is not None:
+            return self._query_resilient(ingress_ip, qname, qtype)
         self.queries_sent += 1
         message = DnsMessage.make_query(
             qname, qtype, msg_id=self.rng.randrange(1 << 16),
         )
+        return self._exchange(ingress_ip, message,
+                              timeout=self.timeout,
+                              retries=self.retries if retries is None else retries)
+
+    def _exchange(self, ingress_ip: str, message: DnsMessage,
+                  timeout: float, retries: int) -> Transaction:
+        """One wire exchange with the standard TC→TCP follow-up."""
         transaction = self.network.query(
             self.prober_ip, ingress_ip, message,
-            timeout=self.timeout,
-            retries=self.retries if retries is None else retries,
+            timeout=timeout, retries=retries,
         )
         if transaction.response.truncated and not message.via_tcp:
             transaction = self.network.query(
                 self.prober_ip, ingress_ip, message.over_tcp(),
-                timeout=self.timeout,
-                retries=self.retries if retries is None else retries,
+                timeout=timeout, retries=retries,
             )
         return transaction
+
+    def _query_resilient(self, ingress_ip: str, qname: DnsName,
+                         qtype: RRType) -> Transaction:
+        """Policy-owned retry loop: backoff, budget and attempt history."""
+        policy = self.policy
+        assert policy is not None
+        message = DnsMessage.make_query(
+            qname, qtype, msg_id=self.rng.randrange(1 << 16),
+        )
+        records: list[AttemptRecord] = []
+        last_errored: Optional[Transaction] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                if (self.retry_budget is not None
+                        and not self.retry_budget.take()):
+                    break
+                delay = policy.delay_with_jitter(attempt - 1, self.retry_rng)
+                if delay:
+                    self.network.clock.advance(delay)
+                if self.tally is not None:
+                    self.tally.retries += 1
+            if self.tally is not None:
+                self.tally.attempts += 1
+            self.queries_sent += 1
+            started = self.network.clock.now
+            try:
+                transaction = self._exchange(
+                    ingress_ip, message,
+                    timeout=policy.per_attempt_timeout,
+                    retries=policy.network_retries,
+                )
+            except QueryTimeout:
+                records.append(AttemptRecord(attempt, started, "timeout"))
+                continue
+            rcode = transaction.response.rcode
+            if (policy.retry_on_servfail
+                    and rcode in (RCode.SERVFAIL, RCode.REFUSED)):
+                records.append(AttemptRecord(
+                    attempt, started, rcode.name.lower(),
+                    rtt=transaction.rtt))
+                last_errored = transaction
+                continue
+            records.append(AttemptRecord(attempt, started, "ok",
+                                         rtt=transaction.rtt))
+            return transaction
+        if last_errored is not None:
+            # Every attempt was answered, just with an error rcode — surface
+            # the (possibly middlebox-forged) answer rather than pretending
+            # the network stayed silent.
+            return last_errored
+        if self.tally is not None:
+            self.tally.gave_up += 1
+        raise ProbeFailure(
+            f"probe of {ingress_ip} for {qname} gave up after "
+            f"{len(records)} attempts",
+            attempts=tuple(records),
+        )
 
     def probe(self, ingress_ip: str, qname: DnsName,
               qtype: RRType = RRType.A,
@@ -88,6 +184,10 @@ class DirectProber:
         """Like :meth:`query` but loss-tolerant: reports delivery status."""
         try:
             transaction = self.query(ingress_ip, qname, qtype, retries=retries)
+        except ProbeFailure as failure:
+            return ProbeResult(qname, qtype, delivered=False,
+                               attempts=max(failure.attempt_count, 1),
+                               gave_up=True)
         except QueryTimeout:
             return ProbeResult(qname, qtype, delivered=False)
         return ProbeResult(qname, qtype, delivered=True,

@@ -1,0 +1,264 @@
+"""Retry/backoff resilience for probing hostile networks.
+
+The seed toolkit assumed a polite network: a prober either got an answer or
+raised on total loss, and every accuracy claim was validated under benign
+conditions only.  This module adds the retry discipline an Internet-scale
+measurement tool needs (cf. ZDNS's retry/timeout policy):
+
+* :class:`RetryPolicy` — capped exponential backoff with seeded jitter,
+  per-attempt timeout, and an optional cap on network-level
+  retransmissions per attempt;
+* :class:`RetryBudget` — spend accounting so retries can never blow the
+  §V-B coupon-collector query budget (built from
+  :func:`~repro.core.analysis.queries_for_confidence`);
+* :class:`AttemptRecord` / :class:`ProbeFailure` — a typed failure carrying
+  the full attempt history instead of a bare timeout;
+* :class:`DegradationTally` — per-world counters the measurement layer
+  snapshots into :class:`~repro.study.measurement.PlatformMeasurement`
+  degradation fields (``attempts`` / ``retries`` / ``gave_up``).
+
+Determinism: backoff jitter draws from a dedicated seeded stream (by
+convention ``rng_factory.stream("retry")``), and all waiting happens on the
+virtual clock — a retried run is exactly as reproducible as a polite one.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..dns.errors import QueryTimeout, ResolutionError
+from .analysis import queries_for_confidence
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one probe, as seen by the resilience layer."""
+
+    attempt: int                 # 1-based
+    started_at: float            # virtual-clock time
+    outcome: str                 # "ok" | "timeout" | "servfail" | "refused"
+    rtt: Optional[float] = None
+
+
+class ProbeFailure(QueryTimeout, ResolutionError):
+    """A probe failed after every permitted attempt.
+
+    Subclasses both :class:`~repro.dns.errors.QueryTimeout` (what the
+    direct path historically raised) and
+    :class:`~repro.dns.errors.ResolutionError` (what the indirect/stub path
+    historically raised), so every existing ``except`` clause keeps
+    working — but callers now get the full attempt history instead of a
+    bare exception.
+    """
+
+    def __init__(self, message: str,
+                 attempts: tuple[AttemptRecord, ...] = ()):
+        super().__init__(message)
+        self.attempts = attempts
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def last_outcome(self) -> Optional[str]:
+        return self.attempts[-1].outcome if self.attempts else None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with bounded, seeded jitter.
+
+    ``max_attempts`` counts *probe-level* attempts; each attempt may itself
+    use ``network_retries`` link-level retransmissions (0 when the policy
+    owns retrying, which is the default for active policies).  The
+    deterministic schedule is::
+
+        backoff(k) = min(base_backoff * multiplier**(k-1), max_backoff)
+
+    for the wait before attempt ``k+1``; jitter multiplies that by a factor
+    drawn uniformly from ``[1, 1+jitter]`` so the realised delay is always
+    within ``[backoff(k), backoff(k)*(1+jitter)]``.
+    """
+
+    max_attempts: int = 1
+    base_backoff: float = 0.5
+    multiplier: float = 2.0
+    max_backoff: float = 8.0
+    jitter: float = 0.0
+    per_attempt_timeout: float = 2.0
+    network_retries: int = 0
+    retry_on_servfail: bool = True
+    #: Fraction of a measurement's base query budget that retries may
+    #: additionally consume (see :meth:`RetryBudget.for_confidence`).
+    budget_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0,1]")
+        if self.per_attempt_timeout <= 0:
+            raise ValueError("per_attempt_timeout must be positive")
+        if self.network_retries < 0:
+            raise ValueError("network_retries must be >= 0")
+        if self.budget_fraction < 0:
+            raise ValueError("budget_fraction must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy retries at all (inactive == seed behaviour)."""
+        return self.max_attempts > 1
+
+    def backoff(self, retries_so_far: int) -> float:
+        """Deterministic wait before the next attempt after ``retries_so_far``
+        failed ones: monotone non-decreasing, capped at ``max_backoff``."""
+        if retries_so_far < 1:
+            return 0.0
+        raw = self.base_backoff * self.multiplier ** (retries_so_far - 1)
+        return min(raw, self.max_backoff)
+
+    def delay_with_jitter(self, retries_so_far: int,
+                          rng: random.Random) -> float:
+        """The realised (jittered) wait; bounded by ``backoff * (1+jitter)``.
+
+        Draws exactly one value from ``rng`` when jitter is enabled, so the
+        stream position stays predictable.
+        """
+        base = self.backoff(retries_so_far)
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: The seed toolkit's behaviour, expressed as a policy: one attempt, no
+#: waits, network-level retransmission left to the caller's defaults.
+ZERO_RETRY = RetryPolicy(max_attempts=1)
+
+#: The retry discipline used for paper-condition runs: four attempts with
+#: 0.5 s → 4 s capped backoff and 25% jitter.
+PAPER_RETRY = RetryPolicy(max_attempts=4, base_backoff=0.5, multiplier=2.0,
+                          max_backoff=4.0, jitter=0.25,
+                          per_attempt_timeout=2.0, network_retries=0)
+
+#: Registry of named retry profiles; ``WorldConfig.retry_profile`` and the
+#: CLI accept exactly these names.  ``"none"`` keeps the resilience layer
+#: inert (byte-identical to the seed pipeline).
+RETRY_PROFILES: dict[str, RetryPolicy] = {
+    "none": ZERO_RETRY,
+    "paper": PAPER_RETRY,
+    "aggressive": RetryPolicy(max_attempts=6, base_backoff=0.25,
+                              multiplier=2.0, max_backoff=8.0, jitter=0.5,
+                              per_attempt_timeout=1.0, network_retries=1),
+}
+
+
+def retry_policy(profile: str) -> Optional[RetryPolicy]:
+    """Resolve a retry profile name; ``"none"`` resolves to ``None`` so the
+    probers take their unmodified single-attempt path."""
+    try:
+        policy = RETRY_PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(RETRY_PROFILES))
+        raise KeyError(
+            f"unknown retry profile {profile!r}; known profiles: {known}"
+        ) from None
+    return policy if policy.active else None
+
+
+@dataclass
+class RetryBudget:
+    """Caps how many *extra* attempts retrying may spend.
+
+    The §V-B methodology plans ``queries_for_confidence(n, c)`` probes; a
+    retry layer must not silently multiply that spend.  A budget is shared
+    across the probes of one measurement: each retry takes one unit, and
+    when the budget is exhausted probes stop retrying (they give up and are
+    flagged, never silently over-spend).
+    """
+
+    total: int
+    spent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("budget total must be >= 0")
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.total
+
+    def take(self, units: int = 1) -> bool:
+        """Consume ``units`` retries if available; False when exhausted."""
+        if self.spent + units > self.total:
+            return False
+        self.spent += units
+        return True
+
+    @classmethod
+    def for_confidence(cls, n_caches: int, confidence: float,
+                       policy: Optional[RetryPolicy] = None) -> "RetryBudget":
+        """Budget proportional to the coupon-collector plan for ``n_caches``.
+
+        ``total = ceil(budget_fraction * queries_for_confidence(n, c))`` —
+        the accounting the measurement layer installs before enumeration.
+        """
+        fraction = policy.budget_fraction if policy is not None else 0.5
+        base = queries_for_confidence(max(n_caches, 1), confidence)
+        return cls(total=max(1, math.ceil(fraction * base)))
+
+
+@dataclass
+class DegradationTally:
+    """Per-world counters of what the resilience layer had to do.
+
+    Only *active* retry policies write here — a world with
+    ``retry_profile="none"`` keeps every counter at zero, which is how the
+    default pipeline's rows stay byte-identical to the seed.
+    """
+
+    attempts: int = 0        # probe-level attempts made by active policies
+    retries: int = 0         # attempts beyond each probe's first
+    gave_up: int = 0         # probes abandoned with no answer
+
+    def snapshot(self) -> "DegradationTally":
+        return replace(self)
+
+    def delta(self, before: "DegradationTally") -> "DegradationTally":
+        return DegradationTally(
+            attempts=self.attempts - before.attempts,
+            retries=self.retries - before.retries,
+            gave_up=self.gave_up - before.gave_up,
+        )
+
+    @property
+    def any(self) -> bool:
+        return bool(self.attempts or self.retries or self.gave_up)
+
+
+@dataclass
+class ResilienceSummary:
+    """Aggregated degradation over a set of measurement rows (stats/report)."""
+
+    platforms: int = 0
+    degraded_platforms: int = 0
+    attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    fault_exposure: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def degraded_fraction(self) -> float:
+        return (self.degraded_platforms / self.platforms
+                if self.platforms else 0.0)

@@ -11,6 +11,19 @@ from .latency import (
     lan_path,
     wan_path,
 )
+from .faults import (
+    FAULT_PROFILES,
+    FaultDecision,
+    FaultExposure,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    TimeWindow,
+    fault_plan,
+    loss_profile,
+    servfail_profile,
+)
 from .loss import PAPER_LOSS_RATES, BernoulliLoss, BurstLoss, LossModel, NoLoss, country_loss
 from .network import Endpoint, LinkProfile, Network, NetworkStats, Transaction
 from .perf import PerfCounters, ShardPerf, snapshot_stats, stats_delta, track
@@ -18,10 +31,13 @@ from .rng import RngFactory, derive_seed, make_rng
 
 __all__ = [
     "AddressAllocator", "AddressPool", "BernoulliLoss", "BurstLoss",
-    "CompositeLatency", "ConstantLatency", "Endpoint", "LatencyModel",
+    "CompositeLatency", "ConstantLatency", "Endpoint", "FAULT_PROFILES",
+    "FaultDecision", "FaultExposure", "FaultInjector", "FaultKind",
+    "FaultPlan", "FaultRule", "LatencyModel",
     "LinkProfile", "LogNormalLatency", "LossModel", "Network", "NetworkStats",
     "NoLoss", "PAPER_LOSS_RATES", "PerfCounters", "Prefix", "RngFactory",
-    "ShardPerf", "SimClock", "Transaction", "UniformLatency", "country_loss",
-    "derive_seed", "int_to_ip", "ip_to_int", "lan_path", "make_rng",
+    "ShardPerf", "SimClock", "TimeWindow", "Transaction", "UniformLatency",
+    "country_loss", "derive_seed", "fault_plan", "int_to_ip", "ip_to_int",
+    "lan_path", "loss_profile", "make_rng", "servfail_profile",
     "snapshot_stats", "stats_delta", "track", "wan_path",
 ]

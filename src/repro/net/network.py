@@ -30,7 +30,9 @@ from typing import Optional, Protocol
 
 from ..dns.errors import NetworkUnreachable, QueryTimeout
 from ..dns.message import DnsMessage
+from ..dns.rrtype import RCode
 from .clock import SimClock
+from .faults import FaultDecision, FaultInjector, FaultKind
 from .latency import LatencyModel, wan_path
 from .loss import LossModel, NoLoss
 from .rng import RngFactory
@@ -67,6 +69,7 @@ class NetworkStats:
     responses_lost: int = 0
     timeouts: int = 0
     retransmissions: int = 0
+    faults_injected: int = 0
 
     def reset(self) -> None:
         self.messages_sent = 0
@@ -75,6 +78,7 @@ class NetworkStats:
         self.responses_lost = 0
         self.timeouts = 0
         self.retransmissions = 0
+        self.faults_injected = 0
 
 
 @dataclass
@@ -109,6 +113,10 @@ class Network:
         self._rng = self.rng_factory.stream("network")
         self._endpoints: dict[str, _Registration] = {}
         self.stats = NetworkStats()
+        #: Optional deterministic fault injector (see :mod:`repro.net.faults`).
+        #: ``None`` — the default — leaves every code path byte-identical to
+        #: a fault-free network: no extra RNG draws, no extra branches taken.
+        self.injector: Optional[FaultInjector] = None
         #: When True, every routed message is encoded to RFC 1035 wire
         #: format and decoded back before delivery — endpoints only ever see
         #: what genuinely survives the wire.  Costs CPU; great for testing.
@@ -123,6 +131,18 @@ class Network:
         # Transport is connection metadata, not message content.
         decoded.via_tcp = message.via_tcp
         return decoded
+
+    @staticmethod
+    def _truncate(response: DnsMessage) -> DnsMessage:
+        """A TC=1 copy with every section stripped (UDP truncation)."""
+        from dataclasses import replace as _replace
+
+        return _replace(response, truncated=True,
+                        answers=[], authority=[], additional=[])
+
+    def install_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Attach (or, with ``None``, detach) a fault injector."""
+        self.injector = injector
 
     # -- registry ---------------------------------------------------------
 
@@ -197,6 +217,25 @@ class Network:
             sent_at = self.clock.now
             self.stats.messages_sent += 1
 
+            # Fault decisions are drawn once per attempt, before any
+            # latency/loss sampling, from the injector's dedicated stream —
+            # so attaching an injector never perturbs the network's own RNG.
+            fault: Optional[FaultDecision] = None
+            if self.injector is not None:
+                fault = self.injector.decide(src_ip, dst_ip,
+                                             via_tcp=message.via_tcp)
+                if fault is not None:
+                    self.stats.faults_injected += 1
+
+            if fault is not None and fault.kind in (
+                    FaultKind.DROP_REQUEST, FaultKind.RATE_LIMIT):
+                # The request vanishes; the responder never saw it.
+                self.stats.requests_lost += 1
+                self.clock.advance_to(sent_at + timeout)
+                continue
+            if fault is not None and fault.kind is FaultKind.LATENCY_SPIKE:
+                self.clock.advance(fault.extra_latency)
+
             lost, request_latency = self._traverse(src_profile, registration.profile)
             if lost:
                 self.stats.requests_lost += 1
@@ -204,10 +243,30 @@ class Network:
                 continue
             self.clock.advance(request_latency)
 
-            response = registration.endpoint.handle_message(
-                self._through_wire(message), src_ip, self)
+            if fault is not None and fault.kind in (
+                    FaultKind.SERVFAIL, FaultKind.REFUSED):
+                # An on-path middlebox answers in the endpoint's stead; the
+                # real platform never sees the query (no caches populated).
+                rcode = (RCode.SERVFAIL if fault.kind is FaultKind.SERVFAIL
+                         else RCode.REFUSED)
+                response: Optional[DnsMessage] = message.make_response(rcode)
+            else:
+                response = registration.endpoint.handle_message(
+                    self._through_wire(message), src_ip, self)
             if response is None:
                 # Silent drop by the endpoint itself.
+                self.clock.advance_to(max(self.clock.now, sent_at + timeout))
+                continue
+
+            if fault is not None and fault.kind is FaultKind.TRUNCATE:
+                # The endpoint did its work (caches populated) but the UDP
+                # answer is truncated: TC=1, sections stripped, forcing the
+                # caller's TCP retry.  Rules never match via_tcp attempts.
+                response = self._truncate(response)
+
+            if fault is not None and fault.kind is FaultKind.DROP_RESPONSE:
+                # The responder did all its work; only the answer vanished.
+                self.stats.responses_lost += 1
                 self.clock.advance_to(max(self.clock.now, sent_at + timeout))
                 continue
 

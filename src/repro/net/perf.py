@@ -62,6 +62,7 @@ class PerfCounters:
         self.stats.responses_lost += stats.responses_lost
         self.stats.timeouts += stats.timeouts
         self.stats.retransmissions += stats.retransmissions
+        self.stats.faults_injected += stats.faults_injected
 
     def add_shard(self, shard: ShardPerf) -> None:
         self.shards.append(shard)
@@ -104,6 +105,7 @@ class PerfCounters:
                 "responses_lost": self.stats.responses_lost,
                 "timeouts": self.stats.timeouts,
                 "retransmissions": self.stats.retransmissions,
+                "faults_injected": self.stats.faults_injected,
             },
             "shards": [
                 {
@@ -131,6 +133,7 @@ def stats_delta(before: NetworkStats, after: NetworkStats) -> NetworkStats:
         responses_lost=after.responses_lost - before.responses_lost,
         timeouts=after.timeouts - before.timeouts,
         retransmissions=after.retransmissions - before.retransmissions,
+        faults_injected=after.faults_injected - before.faults_injected,
     )
 
 

@@ -13,16 +13,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..cache.cache import DnsCache
 from ..cache.entry import EntryKind
-from ..dns.errors import QueryTimeout, ResolutionError
+from ..dns.errors import QueryTimeout
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import group_rrsets, ResourceRecord
 from ..dns.rrtype import RCode, RRType
 from ..net.network import Network
+
+if TYPE_CHECKING:
+    from ..core.resilient import DegradationTally, RetryPolicy
 
 
 @dataclass
@@ -47,13 +50,24 @@ class StubResolver:
 
     def __init__(self, host_ip: str, ingress_ips: list[str], network: Network,
                  local_cache: Optional[DnsCache] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 retry_policy: Optional["RetryPolicy"] = None,
+                 retry_rng: Optional[random.Random] = None,
+                 tally: Optional["DegradationTally"] = None):
         if not ingress_ips:
             raise ValueError("stub needs at least one recursive resolver address")
         self.host_ip = host_ip
         self.ingress_ips = list(ingress_ips)
         self.network = network
         self.rng = rng or random.Random(0)
+        # An *active* retry policy repeats the resolv.conf rotation with
+        # backoff between rounds (how real stubs behave under `options
+        # attempts:n`); None keeps the seed's single rotation.
+        self.retry_policy = (retry_policy
+                             if retry_policy is not None and retry_policy.active
+                             else None)
+        self.retry_rng = retry_rng or random.Random(0)
+        self.tally = tally
         # OS caches are small; Windows caps positive entries at 1 day.
         self.local_cache = local_cache or DnsCache(
             cache_id=f"stub@{host_ip}", capacity=4096, max_ttl=86_400,
@@ -85,19 +99,44 @@ class StubResolver:
         )
 
     def _transact(self, message: DnsMessage) -> DnsMessage:
+        # Imported lazily: repro.core pulls in resolver modules at package
+        # import, so a module-level import here would be circular.
+        from ..core.resilient import AttemptRecord, ProbeFailure
+
+        policy = self.retry_policy
+        rounds = policy.max_attempts if policy is not None else 1
+        records: list[AttemptRecord] = []
         last_error: Optional[Exception] = None
-        for ingress_ip in self.ingress_ips:
-            try:
-                response = self.network.query(self.host_ip, ingress_ip,
-                                              message).response
-                if response.truncated and not message.via_tcp:
-                    response = self.network.query(
-                        self.host_ip, ingress_ip, message.over_tcp()).response
-                return response
-            except QueryTimeout as error:
-                last_error = error
-        raise ResolutionError(f"all resolvers timed out for {message.qname}") \
-            from last_error
+        attempt = 0
+        for round_index in range(rounds):
+            if round_index:
+                delay = policy.delay_with_jitter(round_index, self.retry_rng) \
+                    if policy is not None else 0.0
+                if delay:
+                    self.network.clock.advance(delay)
+                if self.tally is not None:
+                    self.tally.retries += 1
+            for ingress_ip in self.ingress_ips:
+                attempt += 1
+                if policy is not None and self.tally is not None:
+                    self.tally.attempts += 1
+                started = self.network.clock.now
+                try:
+                    response = self.network.query(self.host_ip, ingress_ip,
+                                                  message).response
+                    if response.truncated and not message.via_tcp:
+                        response = self.network.query(
+                            self.host_ip, ingress_ip, message.over_tcp()).response
+                    return response
+                except QueryTimeout as error:
+                    last_error = error
+                    records.append(AttemptRecord(attempt, started, "timeout"))
+        if policy is not None and self.tally is not None:
+            self.tally.gave_up += 1
+        raise ProbeFailure(
+            f"all resolvers timed out for {message.qname}",
+            attempts=tuple(records),
+        ) from last_error
 
     def _cache_response(self, qname: DnsName, qtype: RRType,
                         response: DnsMessage) -> None:

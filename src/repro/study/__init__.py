@@ -81,6 +81,7 @@ from .report import (
     format_fractions,
     format_perf,
     format_ratio_breakdown,
+    format_resilience,
     format_table,
 )
 from .trends import EvolutionModel, TrendRound, TrendStudy
@@ -93,6 +94,7 @@ from .stats import (
     fraction_at_most,
     median,
     ratio_breakdown,
+    resilience_summary,
     snap_to_bin,
 )
 
@@ -110,8 +112,9 @@ __all__ = [
     "cdf_at", "cdf_points", "classify_mechanism", "country_of_operator",
     "draw_operator", "draw_selector_name", "format_bubbles",
     "format_cdf_series", "format_fractions", "format_perf",
-    "format_ratio_breakdown",
+    "format_ratio_breakdown", "format_resilience",
     "format_table", "fraction_above", "fraction_at_most",
+    "resilience_summary",
     "FigureData", "edns_survey_to_dict", "generate_population",
     "measure_direct", "measurements_csv", "regenerate_all", "table1_csv",
     "measure_population", "measure_population_parallel",

@@ -59,7 +59,7 @@ def report_to_dict(report: PlatformReport) -> dict[str, Any]:
 
 def measurement_to_dict(measurement: PlatformMeasurement) -> dict[str, Any]:
     spec = measurement.spec
-    return {
+    data: dict[str, Any] = {
         "name": spec.name,
         "population": spec.population,
         "operator": spec.operator,
@@ -73,6 +73,17 @@ def measurement_to_dict(measurement: PlatformMeasurement) -> dict[str, Any]:
         "technique": measurement.technique,
         "queries_used": measurement.queries_used,
     }
+    # The resilience section appears only for rows measured under visible
+    # adversity, so default-profile exports stay byte-identical to the seed.
+    if measurement.degraded:
+        data["resilience"] = {
+            "attempts": measurement.attempts,
+            "retries": measurement.retries,
+            "gave_up": measurement.gave_up,
+            "fault_exposure": {kind: count for kind, count in
+                               sorted(measurement.fault_exposure.items())},
+        }
+    return data
 
 
 def measurements_to_dict(measurements: list[PlatformMeasurement]

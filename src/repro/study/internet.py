@@ -22,9 +22,11 @@ from ..client.browser import Browser
 from ..client.smtp import SmtpAuthPolicy, SmtpServer
 from ..core.infrastructure import CdeInfrastructure
 from ..core.prober import BrowserProber, DirectProber, SmtpProber
+from ..core.resilient import DegradationTally, retry_policy
 from ..core.session import CdeStudy, PlatformReport, StudyParameters
 from ..dns.message import DnsMessage
 from ..net.address import AddressAllocator
+from ..net.faults import FaultInjector, fault_plan
 from ..net.latency import wan_path
 from ..net.loss import NoLoss, country_loss
 from ..net.network import LinkProfile, Network
@@ -72,6 +74,15 @@ class WorldConfig:
     #: ``False`` restores the seed's full-scan log — only the scaling
     #: benches use it, to measure what the indexes buy.
     indexed_logs: bool = True
+    #: Named fault profile (see :data:`repro.net.faults.FAULT_PROFILES`).
+    #: ``"none"`` attaches no injector at all — every code path and RNG
+    #: draw stays byte-identical to a fault-free world.  Carried as a
+    #: *name* (pure data) so shard workers rebuild identical plans.
+    fault_profile: str = "none"
+    #: Named retry profile (see
+    #: :data:`repro.core.resilient.RETRY_PROFILES`).  ``"none"`` keeps the
+    #: probers on their seed single-attempt behaviour.
+    retry_profile: str = "none"
 
 
 @dataclass
@@ -107,10 +118,24 @@ class SimulatedInternet:
                              self.config.jitter_sigma),
             loss=NoLoss(),
         )
+        # Resilience layer: both knobs resolve from *names* so WorldConfig
+        # stays pure data (shard workers rebuild identical plans/policies).
+        plan = fault_plan(self.config.fault_profile)
+        self.injector: Optional[FaultInjector] = None
+        if not plan.is_noop:
+            self.injector = FaultInjector(
+                plan, self.clock, self.rng_factory.stream("faults"))
+            self.network.install_faults(self.injector)
+        self.retry = retry_policy(self.config.retry_profile)
+        self.tally = DegradationTally()
+
         self.prober_ip = "192.0.2.10"
         self.network.register(self.prober_ip, SinkEndpoint(), prober_profile)
         self.prober = DirectProber(self.prober_ip, self.network,
-                                   rng=self.rng_factory.stream("prober"))
+                                   rng=self.rng_factory.stream("prober"),
+                                   policy=self.retry,
+                                   retry_rng=self.rng_factory.stream("retry"),
+                                   tally=self.tally)
 
         self.platform_allocator = AddressAllocator("10.0.0.0/8")
         self.client_allocator = AddressAllocator("172.16.0.0/12")
@@ -225,6 +250,9 @@ class SimulatedInternet:
         return StubResolver(
             host_ip, ips, self.network,
             rng=self.rng_factory.stream(f"stub/{host_ip}"),
+            retry_policy=self.retry,
+            retry_rng=self.rng_factory.stream(f"retry/stub/{host_ip}"),
+            tally=self.tally,
         )
 
     def make_browser(self, hosted: HostedPlatform,
@@ -255,6 +283,16 @@ class SimulatedInternet:
     def make_smtp_prober(self, domain: str, hosted: HostedPlatform,
                          policy: Optional[SmtpAuthPolicy] = None) -> SmtpProber:
         return SmtpProber(self.make_smtp_server(domain, hosted, policy))
+
+    # -- resilience bookkeeping -------------------------------------------
+
+    def fault_exposure_snapshot(self) -> dict[str, int]:
+        """Current per-kind injected-fault counters ({} with no injector)."""
+        return self.injector.exposure.snapshot() if self.injector else {}
+
+    def fault_exposure_delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Faults injected since ``before`` (sorted keys, zeros dropped)."""
+        return self.injector.exposure.delta(before) if self.injector else {}
 
     # -- studies ----------------------------------------------------------------
 

@@ -13,7 +13,7 @@ can report measurement accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.analysis import queries_for_confidence
@@ -35,6 +35,19 @@ class PlatformMeasurement:
     measured_egress: int
     queries_used: int
     technique: str
+
+    # Degradation bookkeeping (all zero/empty on a polite network with no
+    # retry policy — the defaults keep seed-era rows byte-identical).
+    attempts: int = 0        # probe-level attempts made by an active policy
+    retries: int = 0         # attempts beyond each probe's first
+    gave_up: int = 0         # probes abandoned with no answer
+    fault_exposure: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this row was measured under visible adversity."""
+        return bool(self.attempts or self.retries or self.gave_up
+                    or self.fault_exposure)
 
     # Ground truth (for accuracy reporting only).
     @property
@@ -87,6 +100,8 @@ def measure_direct(world: SimulatedInternet, hosted: HostedPlatform,
     budget = budget or MeasurementBudget()
     spec = hosted.spec
     before = world.prober.queries_sent
+    tally_before = world.tally.snapshot()
+    exposure_before = world.fault_exposure_snapshot()
     ingress_ip = hosted.platform.ingress_ips[0]
     enumeration = enumerate_adaptive(
         world.cde, world.prober, ingress_ip,
@@ -97,12 +112,17 @@ def measure_direct(world: SimulatedInternet, hosted: HostedPlatform,
         world.cde, world.prober, ingress_ip,
         probes=_egress_probe_budget(spec, budget),
     )
+    degradation = world.tally.delta(tally_before)
     return PlatformMeasurement(
         spec=spec,
         measured_caches=enumeration.cache_count,
         measured_egress=egress.n_egress,
         queries_used=world.prober.queries_sent - before,
         technique="direct",
+        attempts=degradation.attempts,
+        retries=degradation.retries,
+        gave_up=degradation.gave_up,
+        fault_exposure=world.fault_exposure_delta(exposure_before),
     )
 
 
@@ -111,6 +131,8 @@ def _measure_indirect(world: SimulatedInternet, hosted: HostedPlatform,
                       budget: MeasurementBudget,
                       count_qtype: Optional[RRType]) -> PlatformMeasurement:
     spec = hosted.spec
+    tally_before = world.tally.snapshot()
+    exposure_before = world.fault_exposure_snapshot()
     # Enumerate with a CNAME chain sized by the coupon bound for the prior.
     q = min(budget.max_enumeration_queries,
             queries_for_confidence(max(spec.n_caches, 2), budget.confidence))
@@ -129,12 +151,17 @@ def _measure_indirect(world: SimulatedInternet, hosted: HostedPlatform,
         for entry in world.cde.server.query_log.entries_for_any(
             names, since=since, under=True)
     }
+    degradation = world.tally.delta(tally_before)
     return PlatformMeasurement(
         spec=spec,
         measured_caches=result.cache_count,
         measured_egress=len(sources),
         queries_used=result.triggered + probes,
         technique=technique,
+        attempts=degradation.attempts,
+        retries=degradation.retries,
+        gave_up=degradation.gave_up,
+        fault_exposure=world.fault_exposure_delta(exposure_before),
     )
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from ..core.resilient import ResilienceSummary
 from ..net.perf import PerfCounters
 from .stats import RatioBreakdown
 
@@ -105,4 +106,26 @@ def format_perf(perf: Optional[PerfCounters],
     ]
     if perf.shards:
         rows.append(("shard busy seconds", f"{perf.busy_seconds:.3f}"))
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def format_resilience(summary: ResilienceSummary,
+                      title: str = "measurement degradation") -> str:
+    """What the resilience layer had to do during a run.
+
+    All-zero under the default profiles; callers typically print this only
+    when ``summary.degraded_platforms`` (or any fault exposure) is non-zero.
+    """
+    rows: list[Sequence[object]] = [
+        ("platforms measured", summary.platforms),
+        ("platforms degraded",
+         f"{summary.degraded_platforms} "
+         f"({100 * summary.degraded_fraction:.1f}%)"),
+        ("probe attempts (retry policy)", summary.attempts),
+        ("retries", summary.retries),
+        ("probes given up", summary.gave_up),
+    ]
+    for kind in sorted(summary.fault_exposure):
+        rows.append((f"faults injected: {kind}",
+                     summary.fault_exposure[kind]))
     return format_table(["metric", "value"], rows, title=title)

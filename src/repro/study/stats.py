@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..core.resilient import ResilienceSummary
+
+if TYPE_CHECKING:
+    from .measurement import PlatformMeasurement
 
 
 def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
@@ -108,6 +113,33 @@ class RatioBreakdown:
             ">1 IP / 1 cache": self.multi_ip_single_cache,
             ">1 IP / >1 cache": self.multi_ip_multi_cache,
         }
+
+
+# ---------------------------------------------------------------------------
+# degradation summary (resilience layer)
+# ---------------------------------------------------------------------------
+
+
+def resilience_summary(rows: Iterable["PlatformMeasurement"]
+                       ) -> ResilienceSummary:
+    """Aggregate per-row degradation fields into one summary.
+
+    All-zero on default-profile runs; reports and exports only surface it
+    when something actually degraded.
+    """
+    summary = ResilienceSummary()
+    exposure: Counter[str] = Counter()
+    for row in rows:
+        summary.platforms += 1
+        if row.degraded:
+            summary.degraded_platforms += 1
+        summary.attempts += row.attempts
+        summary.retries += row.retries
+        summary.gave_up += row.gave_up
+        exposure.update(row.fault_exposure)
+    summary.fault_exposure = {kind: exposure[kind]
+                              for kind in sorted(exposure)}
+    return summary
 
 
 def ratio_breakdown(pairs: Iterable[tuple[int, int]]) -> RatioBreakdown:

@@ -1,0 +1,172 @@
+"""Property tests for the retry/backoff resilience layer (hypothesis).
+
+The properties pin the :class:`RetryPolicy` contract the docs promise:
+
+* the deterministic backoff schedule is monotone non-decreasing and capped;
+* jitter is bounded — the realised delay never leaves
+  ``[backoff, backoff * (1 + jitter)]``;
+* a :class:`RetryBudget` is never over-spent, no matter the take sequence,
+  and a budgeted prober never makes more retries than the budget allows;
+* a zero-retry policy is *exactly* the seed behaviour: same queries, same
+  outcomes, same RNG draws.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resilient import (
+    RetryBudget,
+    RetryPolicy,
+    ZERO_RETRY,
+    retry_policy,
+)
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_backoff=st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0,
+                         allow_nan=False, allow_infinity=False),
+    max_backoff=st.floats(min_value=0.0, max_value=60.0,
+                          allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+    per_attempt_timeout=st.floats(min_value=0.01, max_value=10.0,
+                                  allow_nan=False, allow_infinity=False),
+    network_retries=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestBackoffSchedule:
+    @given(policy=policies, k=st.integers(min_value=0, max_value=40))
+    def test_backoff_monotone_nondecreasing_up_to_cap(self, policy, k):
+        here, there = policy.backoff(k), policy.backoff(k + 1)
+        assert here <= there or here == policy.max_backoff
+        assert here <= policy.max_backoff
+        assert there <= policy.max_backoff
+
+    @given(policy=policies)
+    def test_no_wait_before_the_first_retry_decision(self, policy):
+        assert policy.backoff(0) == 0.0
+
+    @given(policy=policies, k=st.integers(min_value=1, max_value=40))
+    def test_schedule_is_capped_exponential(self, policy, k):
+        expected = min(policy.base_backoff * policy.multiplier ** (k - 1),
+                       policy.max_backoff)
+        assert policy.backoff(k) == expected
+
+    @given(policy=policies, k=st.integers(min_value=0, max_value=40),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_jitter_bounded(self, policy, k, seed):
+        base = policy.backoff(k)
+        delay = policy.delay_with_jitter(k, random.Random(seed))
+        assert base <= delay <= base * (1.0 + policy.jitter)
+
+    @given(policy=policies, k=st.integers(min_value=0, max_value=40),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_jitter_is_seed_deterministic(self, policy, k, seed):
+        first = policy.delay_with_jitter(k, random.Random(seed))
+        second = policy.delay_with_jitter(k, random.Random(seed))
+        assert first == second
+
+
+class TestBudget:
+    @given(total=st.integers(min_value=0, max_value=50),
+           takes=st.lists(st.integers(min_value=1, max_value=5),
+                          max_size=80))
+    def test_budget_never_exceeded(self, total, takes):
+        budget = RetryBudget(total=total)
+        for units in takes:
+            granted = budget.take(units)
+            assert budget.spent <= budget.total
+            if not granted:
+                # A refusal must not consume anything either.
+                assert budget.spent + units > budget.total
+        assert budget.remaining == budget.total - budget.spent
+
+    @given(n=st.integers(min_value=1, max_value=64),
+           confidence=st.floats(min_value=0.5, max_value=0.999),
+           policy=policies)
+    def test_budget_scales_with_coupon_plan(self, n, confidence, policy):
+        from repro.core.analysis import queries_for_confidence
+
+        budget = RetryBudget.for_confidence(n, confidence, policy)
+        assert budget.total >= 1
+        assert budget.total <= max(
+            1, policy.budget_fraction * queries_for_confidence(n, confidence)
+        ) + 1
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=8, deadline=None)
+    def test_budgeted_prober_never_over_retries(self, seed):
+        """Under total loss, extra attempts stop when the budget dries up."""
+        from repro.study import build_world
+
+        world = build_world(seed=seed, lossy_platforms=False,
+                            fault_profile="none", retry_profile="paper")
+        hosted = world.add_platform(n_ingress=1, n_caches=2, n_egress=1)
+        # Silence the platform entirely: every probe now exhausts attempts.
+        for ip in hosted.platform.ingress_ips:
+            world.network.unregister(ip)
+            from repro.study.internet import SinkEndpoint
+
+            world.network.register(ip, SinkEndpoint())
+        budget = RetryBudget(total=3)
+        world.prober.retry_budget = budget
+        before = world.prober.queries_sent
+        for index in range(5):
+            result = world.prober.probe(hosted.platform.ingress_ips[0],
+                                        world.cde.unique_name("b"))
+            assert not result.delivered and result.gave_up
+        attempts_made = world.prober.queries_sent - before
+        # 5 first attempts are free; only budgeted retries come on top.
+        assert attempts_made == 5 + budget.total
+        assert budget.exhausted
+
+
+class TestZeroRetryEqualsSeedBehaviour:
+    def test_profile_none_resolves_to_no_policy(self):
+        assert retry_policy("none") is None
+        assert not ZERO_RETRY.active
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=6, deadline=None)
+    def test_zero_retry_prober_matches_seed_prober(self, seed):
+        from repro.core.prober import DirectProber
+        from repro.study import build_world
+
+        outcomes = []
+        for policy in (None, ZERO_RETRY):
+            world = build_world(seed=seed)
+            hosted = world.add_platform(n_ingress=1, n_caches=3, n_egress=2)
+            prober = DirectProber(world.prober_ip, world.network,
+                                  rng=world.rng_factory.stream("prober"),
+                                  policy=policy)
+            results = prober.probe_many(hosted.platform.ingress_ips[0],
+                                        world.cde.unique_name("zr"), count=12)
+            outcomes.append((
+                prober.queries_sent,
+                [(r.delivered, r.rtt, r.attempts, r.gave_up)
+                 for r in results],
+                world.clock.now,
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=6, deadline=None)
+    def test_world_with_retry_none_matches_default_world(self, seed):
+        from repro.study import build_world
+
+        measured = []
+        for overrides in ({}, {"fault_profile": "none",
+                               "retry_profile": "none"}):
+            world = build_world(seed=seed, **overrides)
+            hosted = world.add_platform(n_ingress=2, n_caches=2, n_egress=2)
+            report = world.study(hosted)
+            measured.append((report.cache_count, report.queries_sent,
+                             world.clock.now))
+        assert measured[0] == measured[1]
