@@ -20,6 +20,7 @@ from typing import Optional
 from ..dns.name import DnsName
 from ..dns.record import ResourceRecord, RRSet
 from ..dns.rrtype import RRType
+from ..net.rng import fallback_rng
 from .entry import CacheEntry, EntryKind
 from .policy import EvictionPolicy, LruPolicy
 
@@ -64,7 +65,7 @@ class DnsCache:
         self.max_ttl = max_ttl
         self.negative_ttl_cap = negative_ttl_cap
         self.policy = policy or LruPolicy()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("cache.DnsCache")
         self.stats = CacheStats()
         self._entries: dict[tuple[DnsName, RRType], CacheEntry] = {}
 

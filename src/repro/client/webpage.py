@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from .browser import Browser
+from ..net.rng import fallback_rng
 
 #: Paper: ~1 in 50 executions completed the full (several-minute) test.
 PAPER_COMPLETION_RATE = 1.0 / 50.0
@@ -59,7 +60,7 @@ class AdCampaign:
             raise ValueError("rates must be in (0, 1]")
         self.script_load_rate = script_load_rate
         self.completion_rate = completion_rate
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("client.AdCampaign")
         self.stats = CampaignStats()
 
     def serve(self, browser: Browser,

@@ -30,6 +30,7 @@ from typing import Optional
 from ..dns.rrtype import RRType
 from ..dns.name import DnsName, name as make_name
 from ..resolver.selection import CacheSelector, QueryContext
+from ..net.rng import fallback_rng
 
 
 @dataclass(frozen=True)
@@ -122,7 +123,7 @@ def simulate_campaign(n_caches: int, selector: CacheSelector,
         raise ValueError("need at least one attempt")
     if not 0.0 <= legit_record_live_probability <= 1.0:
         raise ValueError("probability out of range")
-    rng = rng or random.Random(0)
+    rng = rng or fallback_rng("core.poisoning")
     victim_name = make_name(victim) if isinstance(victim, str) else victim
 
     result = CampaignResult(attempts=attempts, successes=0,

@@ -30,6 +30,7 @@ from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.rrtype import RCode, RRType
 from ..net.network import Network, Transaction
+from ..net.rng import fallback_rng
 from .resilient import (
     AttemptRecord,
     DegradationTally,
@@ -76,12 +77,12 @@ class DirectProber:
                  tally: Optional[DegradationTally] = None):
         self.prober_ip = prober_ip
         self.network = network
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("core.DirectProber")
         self.timeout = timeout
         self.retries = retries
         self.queries_sent = 0
         self.policy = policy if policy is not None and policy.active else None
-        self.retry_rng = retry_rng or random.Random(0)
+        self.retry_rng = retry_rng or fallback_rng("core.DirectProber.retry")
         self.tally = tally
         #: Installed by the measurement layer around an enumeration
         #: (:func:`~repro.core.enumeration.enumerate_adaptive`).

@@ -25,6 +25,7 @@ from typing import Optional
 from ..dns.name import name as make_name
 from ..dns.rrtype import RRType
 from ..resolver.selection import CacheSelector, QueryContext
+from ..net.rng import fallback_rng
 from .enumeration import enumerate_direct
 from .infrastructure import CdeInfrastructure
 from .prober import DirectProber
@@ -114,7 +115,7 @@ def simulate_poisoning_attempts(selector: CacheSelector, n_caches: int,
     (qname-hash on a fixed name, round robin with known phase) can be far
     weaker than the uniform bound.
     """
-    rng = rng or random.Random(0)
+    rng = rng or fallback_rng("core.resilience")
     successes = 0
     sequence = 0
     qname = make_name("victim.example")

@@ -29,43 +29,11 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..dns.errors import QueryTimeout, ResolutionError
+# AttemptRecord / ProbeFailure live in the DNS error hierarchy now so
+# that resolver-layer code can use them without importing upward across
+# the architecture DAG; re-exported here for existing callers.
+from ..dns.errors import AttemptRecord, ProbeFailure  # noqa: F401
 from .analysis import queries_for_confidence
-
-
-@dataclass(frozen=True)
-class AttemptRecord:
-    """One attempt of one probe, as seen by the resilience layer."""
-
-    attempt: int                 # 1-based
-    started_at: float            # virtual-clock time
-    outcome: str                 # "ok" | "timeout" | "servfail" | "refused"
-    rtt: Optional[float] = None
-
-
-class ProbeFailure(QueryTimeout, ResolutionError):
-    """A probe failed after every permitted attempt.
-
-    Subclasses both :class:`~repro.dns.errors.QueryTimeout` (what the
-    direct path historically raised) and
-    :class:`~repro.dns.errors.ResolutionError` (what the indirect/stub path
-    historically raised), so every existing ``except`` clause keeps
-    working — but callers now get the full attempt history instead of a
-    bare exception.
-    """
-
-    def __init__(self, message: str,
-                 attempts: tuple[AttemptRecord, ...] = ()):
-        super().__init__(message)
-        self.attempts = attempts
-
-    @property
-    def attempt_count(self) -> int:
-        return len(self.attempts)
-
-    @property
-    def last_outcome(self) -> Optional[str]:
-        return self.attempts[-1].outcome if self.attempts else None
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..dns.rrtype import RRType
-from ..net.network import Network
+from ..net.network import Network, SinkEndpoint
 from .analysis import queries_for_confidence
 from .infrastructure import CdeInfrastructure
 from .prober import DirectProber
@@ -64,8 +64,6 @@ class SelectorInference:
 def _extra_sources(network: Network, count: int,
                    base: str = "192.0.2.") -> list[str]:
     """Provision additional prober source addresses on the network."""
-    from ..study.internet import SinkEndpoint
-
     sources = []
     for offset in range(count):
         ip = f"{base}{100 + offset}"

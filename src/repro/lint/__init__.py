@@ -15,31 +15,52 @@ CDE003    unordered-iteration     set iteration order never reaches rows
 CDE004    shard-purity            shard output is a function of ShardTask
 CDE005    mutable-default         no state shared through default args
 CDE006    public-annotations      public APIs feed the strict mypy gate
+CDE007    effect-contract         no CLOCK/RNG/IO/ENV reachable from roots
+CDE008    layering                imports follow the architecture DAG
+CDE009    rng-stream-hygiene      one stream label, one drawing call site
 ========  ======================  ==========================================
 
-Run ``python -m repro.lint src/`` (``--json`` for the machine-readable
-report); suppress a deliberate exception with
+CDE004 and CDE007–CDE009 are whole-program rules: they run on a
+project-wide call graph with fixed-point effect signatures
+(:mod:`repro.lint.effects`), cached incrementally under
+``.cdelint_cache/``.  Run ``python -m repro.lint src/`` (``--format
+json|sarif`` for machine-readable reports, ``--fix`` for mechanical
+autofixes); suppress a deliberate exception with
 ``# cdelint: disable=CDE00x`` on the flagged line.  Configuration lives
 in ``[tool.cdelint]`` in pyproject.toml; rationale in
-docs/STATIC_ANALYSIS.md.
+docs/STATIC_ANALYSIS.md, layering in docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
 
+from .callgraph import CallGraph, ModuleSummary, summarize_module
 from .config import LintConfig
+from .effects import Effect, EffectAnalysis
 from .engine import iter_python_files, run_lint
 from .findings import JSON_SCHEMA_VERSION, Finding, LintReport
+from .fix import FIXABLE_RULES, apply_fixes, plan_fixes, render_diff
 from .registry import ProjectContext, Rule, all_rules, register
+from .sarif import to_sarif
 
 __all__ = [
+    "CallGraph",
+    "Effect",
+    "EffectAnalysis",
+    "FIXABLE_RULES",
     "Finding",
     "JSON_SCHEMA_VERSION",
     "LintConfig",
     "LintReport",
+    "ModuleSummary",
     "ProjectContext",
     "Rule",
     "all_rules",
+    "apply_fixes",
     "iter_python_files",
+    "plan_fixes",
     "register",
+    "render_diff",
     "run_lint",
+    "summarize_module",
+    "to_sarif",
 ]

@@ -1,0 +1,432 @@
+"""Project-wide call graph over per-file summaries.
+
+A :class:`ModuleSummary` is everything the whole-program rules need to
+know about one file — its functions (with called names, direct effect
+sites, RNG stream labels), its imports, its suppression comments — in a
+JSON-serialisable form.  Summaries are derived from a parsed
+:class:`~repro.lint.module.ModuleInfo` once and then cached by content
+hash (:mod:`repro.lint.cache`), so a warm run never re-parses unchanged
+files: the call graph, the effect propagation (CDE004/CDE007), the
+layering check (CDE008) and the stream-hygiene check (CDE009) all run on
+summaries alone.
+
+The graph uses the same conservative name-based binding CDE004
+established: a call to a simple name binds to every project function of
+that name, and a call to a class name binds to that class's
+``__init__``.  Over-approximation is the right direction for invariant
+checking — a false edge widens the audited surface, never hides an
+effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .astutil import dotted_name, import_aliases, iter_function_defs
+from .effects import EffectSite, extract_effect_sites
+from .module import ModuleInfo
+
+#: Bump when the summary layout changes (invalidates cached summaries).
+SUMMARY_VERSION = 1
+
+#: Pseudo-function key for statements at module / class-body level.
+MODULE_SCOPE = "<module>"
+
+
+@dataclass(frozen=True, order=True)
+class StreamCall:
+    """One ``*.stream("label")`` / ``make_rng(_, "label")`` call site."""
+
+    label: str           # normalised: f-string fields become "{}"
+    line: int
+    col: int
+
+    def to_json(self) -> list[object]:
+        return [self.label, self.line, self.col]
+
+    @classmethod
+    def from_json(cls, raw: list[object]) -> "StreamCall":
+        return cls(label=str(raw[0]), line=int(raw[1]),  # type: ignore[arg-type]
+                   col=int(raw[2]))
+
+
+@dataclass(frozen=True, order=True)
+class ImportRecord:
+    """One import statement, as the layering rule needs it."""
+
+    line: int
+    col: int
+    level: int           # 0 = absolute, N = number of leading dots
+    module: str          # "repro.study.internet", "dns.name", "" (bare from)
+    type_checking: bool  # inside an ``if TYPE_CHECKING:`` block
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.col, self.level, self.module,
+                self.type_checking]
+
+    @classmethod
+    def from_json(cls, raw: list[object]) -> "ImportRecord":
+        return cls(line=int(raw[0]), col=int(raw[1]),  # type: ignore[arg-type]
+                   level=int(raw[2]), module=str(raw[3]),
+                   type_checking=bool(raw[4]))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """One function/method as a call-graph node."""
+
+    qualname: str
+    name: str
+    line: int
+    col: int
+    calls: tuple[str, ...]             # binding keys (simple callee names)
+    effects: tuple[EffectSite, ...]    # direct effect sites
+    streams: tuple[StreamCall, ...]    # RNG stream labels requested here
+    returns_set: bool                  # return annotation is a set type
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname, "name": self.name,
+            "line": self.line, "col": self.col,
+            "calls": list(self.calls),
+            "effects": [site.to_json() for site in self.effects],
+            "streams": [call.to_json() for call in self.streams],
+            "returns_set": self.returns_set,
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict[str, object]) -> "FunctionSummary":
+        return cls(
+            qualname=str(raw["qualname"]), name=str(raw["name"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            col=int(raw["col"]),  # type: ignore[arg-type]
+            calls=tuple(str(c) for c in raw["calls"]),  # type: ignore[union-attr]
+            effects=tuple(EffectSite.from_json(s)
+                          for s in raw["effects"]),  # type: ignore[union-attr]
+            streams=tuple(StreamCall.from_json(s)
+                          for s in raw["streams"]),  # type: ignore[union-attr]
+            returns_set=bool(raw["returns_set"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything project rules need from one file, sans AST."""
+
+    rel: str
+    functions: tuple[FunctionSummary, ...] = ()
+    imports: tuple[ImportRecord, ...] = ()
+    module_streams: tuple[StreamCall, ...] = ()
+    line_suppressions: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    file_suppressions: tuple[str, ...] = ()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        from .module import SUPPRESS_ALL
+
+        for scope in (self.file_suppressions,
+                      self.line_suppressions.get(line, ())):
+            if rule_id in scope or SUPPRESS_ALL in scope:
+                return True
+        return False
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rel": self.rel,
+            "functions": [f.to_json() for f in self.functions],
+            "imports": [i.to_json() for i in self.imports],
+            "module_streams": [s.to_json() for s in self.module_streams],
+            "line_suppressions": {
+                str(line): list(rules)
+                for line, rules in sorted(self.line_suppressions.items())
+            },
+            "file_suppressions": list(self.file_suppressions),
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict[str, object]) -> "ModuleSummary":
+        return cls(
+            rel=str(raw["rel"]),
+            functions=tuple(FunctionSummary.from_json(f)
+                            for f in raw["functions"]),  # type: ignore[union-attr]
+            imports=tuple(ImportRecord.from_json(i)
+                          for i in raw["imports"]),  # type: ignore[union-attr]
+            module_streams=tuple(StreamCall.from_json(s)
+                                 for s in raw["module_streams"]),  # type: ignore[union-attr]
+            line_suppressions={
+                int(line): tuple(str(r) for r in rules)
+                for line, rules in raw["line_suppressions"].items()  # type: ignore[union-attr]
+            },
+            file_suppressions=tuple(
+                str(r) for r in raw["file_suppressions"]),  # type: ignore[union-attr]
+        )
+
+
+# ---------------------------------------------------------------------------
+# summarisation
+# ---------------------------------------------------------------------------
+
+def _called_names(func: ast.AST) -> tuple[str, ...]:
+    """Simple binding keys of every call site in ``func``'s own body."""
+    from .effects import _walk_own
+
+    names: set[str] = set()
+    for node in _walk_own(func):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                names.add(node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                names.add(node.func.attr)
+    return tuple(sorted(names))
+
+
+def _literal_label(arg: ast.expr) -> Optional[str]:
+    """The static stream label of an argument: literal strings verbatim,
+    f-strings as templates with ``{}`` placeholders, else ``None``."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts: list[str] = []
+        for value in arg.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("{}")
+        return "".join(parts)
+    return None
+
+
+def _stream_calls(func: ast.AST) -> tuple[StreamCall, ...]:
+    """``*.stream("label")`` and ``make_rng(seed, "label")`` call sites."""
+    from .effects import _walk_own
+
+    calls: list[StreamCall] = []
+    for node in _walk_own(func):
+        if not isinstance(node, ast.Call):
+            continue
+        label_arg: Optional[ast.expr] = None
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "stream":
+            if len(node.args) == 1 and not node.keywords:
+                label_arg = node.args[0]
+        elif (isinstance(node.func, ast.Name)
+              and node.func.id == "make_rng"):
+            if len(node.args) >= 2:
+                label_arg = node.args[1]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "stream":
+                        label_arg = keyword.value
+        if label_arg is None:
+            continue
+        label = _literal_label(label_arg)
+        if label is not None:
+            calls.append(StreamCall(label=label, line=node.lineno,
+                                    col=node.col_offset))
+    return tuple(sorted(set(calls)))
+
+
+def _type_checking_lines(tree: ast.Module) -> set[int]:
+    """Line numbers covered by ``if TYPE_CHECKING:`` bodies."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = dotted_name(test) if isinstance(
+            test, (ast.Name, ast.Attribute)) else None
+        if name is None or name.rsplit(".", 1)[-1] != "TYPE_CHECKING":
+            continue
+        for stmt in node.body:
+            end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+            lines.update(range(stmt.lineno, end + 1))
+    return lines
+
+
+def _imports(tree: ast.Module) -> tuple[ImportRecord, ...]:
+    guarded = _type_checking_lines(tree)
+    records: list[ImportRecord] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                records.append(ImportRecord(
+                    line=node.lineno, col=node.col_offset, level=0,
+                    module=alias.name,
+                    type_checking=node.lineno in guarded,
+                ))
+        elif isinstance(node, ast.ImportFrom):
+            records.append(ImportRecord(
+                line=node.lineno, col=node.col_offset,
+                level=node.level, module=node.module or "",
+                type_checking=node.lineno in guarded,
+            ))
+    return tuple(sorted(set(records)))
+
+
+def summarize_module(module: ModuleInfo) -> ModuleSummary:
+    """Build the project-rule summary of one parsed file."""
+    from .astutil import annotation_is_set
+
+    aliases = import_aliases(module.tree)
+    functions: list[FunctionSummary] = []
+    for func, qualname, _is_method in iter_function_defs(module.tree):
+        functions.append(FunctionSummary(
+            qualname=qualname,
+            name=func.name,
+            line=func.lineno,
+            col=func.col_offset,
+            calls=_called_names(func),
+            effects=extract_effect_sites(func, aliases),
+            streams=_stream_calls(func),
+            returns_set=annotation_is_set(func.returns),
+        ))
+    functions.sort(key=lambda f: (f.line, f.col, f.qualname))
+    return ModuleSummary(
+        rel=module.rel,
+        functions=tuple(functions),
+        imports=_imports(module.tree),
+        # _walk_own skips function bodies, so scanning the module node
+        # yields exactly the module- and class-level stream calls.
+        module_streams=_stream_calls(module.tree),
+        line_suppressions={line: tuple(sorted(rules))
+                           for line, rules in
+                           module.line_suppressions.items()},
+        file_suppressions=tuple(sorted(module.file_suppressions)),
+    )
+
+
+def set_returning_names(summaries: Iterable[ModuleSummary]) -> frozenset[str]:
+    """Simple names of callables annotated to return sets, project-wide."""
+    return frozenset(
+        func.name
+        for summary in summaries
+        for func in summary.functions
+        if func.returns_set
+    )
+
+
+# ---------------------------------------------------------------------------
+# the graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One function in the project call graph."""
+
+    key: str             # "<rel>::<qualname>"
+    rel: str
+    qualname: str
+    name: str
+    line: int
+    col: int
+    effects: tuple[EffectSite, ...]
+    streams: tuple[StreamCall, ...]
+
+
+class CallGraph:
+    """Conservative name-bound call graph over module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.nodes: dict[str, GraphNode] = {}
+        self._by_name: dict[str, list[str]] = {}
+        self._class_inits: dict[str, list[str]] = {}
+        self._calls: dict[str, tuple[str, ...]] = {}
+        self._callees: dict[str, tuple[str, ...]] = {}
+        self._callers: dict[str, tuple[str, ...]] = {}
+        self._summaries = {s.rel: s for s in summaries}
+
+        for rel in sorted(self._summaries):
+            summary = self._summaries[rel]
+            for func in summary.functions:
+                key = f"{rel}::{func.qualname}"
+                self.nodes[key] = GraphNode(
+                    key=key, rel=rel, qualname=func.qualname, name=func.name,
+                    line=func.line, col=func.col, effects=func.effects,
+                    streams=func.streams,
+                )
+                self._calls[key] = func.calls
+                self._by_name.setdefault(func.name, []).append(key)
+                if func.name == "__init__" and "." in func.qualname:
+                    class_path = func.qualname.rsplit(".", 1)[0]
+                    class_simple = class_path.rsplit(".", 1)[-1]
+                    self._class_inits.setdefault(class_simple, []).append(key)
+
+        callers: dict[str, list[str]] = {key: [] for key in self.nodes}
+        for key in sorted(self.nodes):
+            targets: list[str] = []
+            for name in self._calls[key]:
+                targets.extend(self._by_name.get(name, ()))
+                targets.extend(self._class_inits.get(name, ()))
+            resolved = tuple(sorted(set(targets)))
+            self._callees[key] = resolved
+            for target in resolved:
+                callers[target].append(key)
+        self._callers = {key: tuple(sorted(set(names)))
+                         for key, names in callers.items()}
+
+    # -- structure ----------------------------------------------------------
+
+    def callees(self, key: str) -> tuple[str, ...]:
+        return self._callees.get(key, ())
+
+    def callers(self, key: str) -> tuple[str, ...]:
+        return self._callers.get(key, ())
+
+    def binding_fingerprint(self) -> str:
+        """Hash of the defined-name index.  When it changes, name-based
+        binding may have changed for *any* caller, so cached propagation
+        results must be discarded wholesale."""
+        import hashlib
+
+        payload = "|".join(sorted(self._by_name)) + "||" + "|".join(
+            sorted(self._class_inits))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def resolve_entry(self, spec: str) -> list[str]:
+        """Node keys for a ``path-suffix::qualname`` entry-point spec."""
+        suffix, _, funcname = spec.partition("::")
+        if not funcname:
+            return []
+        matches: list[str] = []
+        for rel in sorted(self._summaries):
+            if ("/" + rel).endswith("/" + suffix.lstrip("/")):
+                key = f"{rel}::{funcname}"
+                if key in self.nodes:
+                    matches.append(key)
+        return matches
+
+    # -- reachability -------------------------------------------------------
+
+    def reachable_with_chains(
+        self, entries: Iterable[str],
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS from ``entries``: one shortest qualname chain per node."""
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for key in sorted(set(entries)):
+            if key in self.nodes and key not in chains:
+                chains[key] = (self.nodes[key].qualname,)
+                queue.append(key)
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for callee in self.callees(current):
+                if callee in chains:
+                    continue
+                chains[callee] = chains[current] + (
+                    self.nodes[callee].qualname,)
+                queue.append(callee)
+        return chains
+
+    def reverse_reachable(self, seeds: Iterable[str]) -> set[str]:
+        """Seeds plus every transitive caller of a seed."""
+        seen: set[str] = set()
+        stack = [key for key in seeds if key in self.nodes]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.callers(key))
+        return seen

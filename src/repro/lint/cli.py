@@ -2,7 +2,9 @@
 
 Exit codes: ``0`` clean, ``1`` findings (or parse errors), ``2`` usage /
 configuration errors — the convention CI and the committed
-``LINT_baseline.json`` rely on.
+``LINT_baseline.json`` rely on.  ``--fix`` applies the mechanical
+autofixes (CDE003/CDE005/CDE006) and exits 0 when everything it touched
+is fixed; ``--fix --diff`` prints the unified diff without writing.
 """
 
 from __future__ import annotations
@@ -13,13 +15,18 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .cache import DEFAULT_CACHE_DIR
 from .config import LintConfig, find_pyproject
 from .engine import run_lint
+from .fix import FIXABLE_RULES, apply_fixes, plan_fixes, render_diff
 from .registry import all_rules
+from .sarif import to_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
+
+FORMATS = ("human", "json", "sarif")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--format", choices=FORMATS, default=None, dest="format",
+        help="report format on stdout (default: human)",
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit the machine-readable JSON report on stdout",
+        help="shorthand for --format json",
     )
     parser.add_argument(
         "--select", metavar="RULES",
@@ -50,6 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-config", action="store_true",
         help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", type=Path, default=None,
+        help=f"incremental-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help=f"apply mechanical autofixes ({', '.join(FIXABLE_RULES)}) "
+             f"and exit",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="with --fix: print the unified diff instead of writing files",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -69,9 +97,33 @@ def _load_config(args: argparse.Namespace) -> LintConfig:
     return LintConfig.from_pyproject(pyproject)
 
 
+def _run_fix(args: argparse.Namespace, config: LintConfig,
+             select: Optional[list[str]]) -> int:
+    fixes = plan_fixes(args.paths, config=config, select=select)
+    changed = [fix for fix in fixes if fix.changed]
+    if args.diff:
+        sys.stdout.write(render_diff(changed))
+        print(f"cdelint --fix: would rewrite {len(changed)} file(s)"
+              if changed else "cdelint --fix: nothing to fix")
+        return EXIT_CLEAN
+    written = apply_fixes(changed)
+    for fix in changed:
+        for note in fix.notes:
+            print(note)
+    print(f"cdelint --fix: rewrote {written} file(s)"
+          if written else "cdelint --fix: nothing to fix")
+    return EXIT_CLEAN
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.as_json and args.format not in (None, "json"):
+        print("cdelint: error: --json conflicts with --format "
+              f"{args.format}", file=sys.stderr)
+        return EXIT_USAGE
+    fmt = args.format or ("json" if args.as_json else "human")
 
     if args.list_rules:
         for rule_id, rule_cls in all_rules().items():
@@ -81,13 +133,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         config = _load_config(args)
         select = args.select.split(",") if args.select else None
-        report = run_lint(args.paths, config=config, select=select)
+        if args.fix:
+            return _run_fix(args, config, select)
+        cache_dir: Optional[Path] = None
+        if not args.no_cache:
+            cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+        report = run_lint(args.paths, config=config, select=select,
+                          cache_dir=cache_dir)
     except (ValueError, OSError) as exc:
         print(f"cdelint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    if args.as_json:
+    if fmt == "json":
         json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif fmt == "sarif":
+        json.dump(to_sarif(report), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
         print(report.render_human())

@@ -9,8 +9,10 @@ absolute paths.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import tomllib
-from dataclasses import dataclass, fields, replace
+from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Any
 
@@ -48,6 +50,21 @@ class LintConfig:
     )
     #: ``path::function`` shard-worker entry points (CDE004).
     shard_entries: tuple[str, ...] = ("repro/study/parallel.py::run_shard",)
+    #: ``path::qualname`` roots whose call graphs must stay effect-free
+    #: (CDE007): the shard worker plus the fault/retry decision paths.
+    effect_roots: tuple[str, ...] = (
+        "repro/study/parallel.py::run_shard",
+        "repro/net/faults.py::FaultInjector.decide",
+        "repro/core/resilient.py::RetryPolicy.delay_with_jitter",
+        "repro/core/resilient.py::RetryPolicy.backoff",
+        "repro/core/prober.py::DirectProber._query_resilient",
+        "repro/resolver/stub.py::StubResolver._transact",
+    )
+    #: The architecture DAG (CDE008), bottom layer first; names within one
+    #: entry (space-separated) form a group that may import one another.
+    layers: tuple[str, ...] = (
+        "dns", "net", "cache resolver server", "core client", "study", "cli",
+    )
     #: Packages whose public API must be fully annotated (CDE006).
     typed_paths: tuple[str, ...] = (
         "repro/study/", "repro/core/", "repro/server/", "repro/lint/",
@@ -79,6 +96,19 @@ class LintConfig:
                 )
             overrides[key] = tuple(value)
         return replace(cls(), **overrides)
+
+    def layer_of(self) -> dict[str, int]:
+        """Package name -> layer index (bottom = 0) from :attr:`layers`."""
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(self.layers):
+            for package in group.split():
+                mapping[package] = index
+        return mapping
+
+    def config_hash(self) -> str:
+        """Stable digest of this config, for incremental-cache keying."""
+        payload = json.dumps(asdict(self), sort_keys=True, default=list)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def find_pyproject(start: Path) -> Path | None:

@@ -1,23 +1,45 @@
-"""The cdelint engine: collect files, parse once, run every rule.
+"""The cdelint engine: collect files, summarise, run every rule.
 
-Two passes: all files are parsed into :class:`ModuleInfo` first (building
-the :class:`ProjectContext` whole-program indexes), then per-module rules
-run file by file and project rules run once.  Suppression comments are
-honoured centrally so individual rules never need to know about them.
+The run is structured around cacheable per-file summaries:
+
+1. Every file is content-hashed.  Files with a warm cached summary
+   (:mod:`repro.lint.cache`) are *not* parsed; the rest are parsed into
+   :class:`ModuleInfo` and summarised.
+2. Per-module rules run on parsed modules; their (suppression-filtered)
+   findings are cached per file, keyed by content hash plus an
+   environment key covering the config, the rule set, and the
+   project-wide set-returning index — so a warm run with no relevant
+   change replays findings without parsing anything.
+3. Project rules (CDE004, CDE007–CDE009) run on summaries alone through
+   the :class:`ProjectContext` call graph; effect signatures are
+   propagated incrementally when warm cached signatures exist for the
+   same binding fingerprint.
+
+File discovery and finding order are deterministic regardless of input
+order: files are collected into a set and sorted, and the final report
+is ``sorted(set(findings))`` on the total order of
+:class:`~repro.lint.findings.Finding` — ``(path, line, col, rule_id,
+message, symbol)``.
 """
 
 from __future__ import annotations
 
+import ast
+import hashlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
+from .cache import AnalysisCache, content_hash
+from .callgraph import ModuleSummary, set_returning_names, summarize_module
 from .config import LintConfig, path_matches_any
+from .effects import EffectAnalysis
 from .findings import Finding, LintReport
-from .module import ModuleInfo, ModuleParseError, load_module
+from .module import ModuleInfo, ModuleParseError, parse_suppressions
 from .registry import ProjectContext, Rule, instantiate
-from .rules.iteration import collect_set_returning
 
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache",
+                        ".cdelint_cache"})
 
 
 def iter_python_files(paths: Sequence[Path],
@@ -50,43 +72,143 @@ def _relativize(path: Path) -> str:
         return path.as_posix()
 
 
+def _parse(path: Path, rel: str, source: str) -> ModuleInfo:
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        raise ModuleParseError(
+            f"{rel}:{exc.lineno or 0}: syntax error: {exc.msg}"
+        ) from exc
+    per_line, per_file = parse_suppressions(source)
+    return ModuleInfo(path=path, rel=rel, source=source, tree=tree,
+                      line_suppressions=per_line, file_suppressions=per_file)
+
+
+@dataclass
+class _FileEntry:
+    """One collected file across the engine's stages."""
+
+    path: Path
+    rel: str
+    source: str
+    sha: str
+    summary: ModuleSummary
+    module: Optional[ModuleInfo] = None  # parsed lazily on a warm run
+
+
 def run_lint(paths: Sequence[Path | str],
              config: LintConfig | None = None,
-             select: Iterable[str] | None = None) -> LintReport:
-    """Lint ``paths`` and return a :class:`LintReport` (pure; no I/O side
-    effects beyond reading the files)."""
+             select: Iterable[str] | None = None,
+             cache_dir: Path | str | None = None) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    Pure by default (no I/O side effects beyond reading the files); pass
+    ``cache_dir`` to enable the incremental cache, which reads and
+    atomically rewrites ``<cache_dir>/cache.json``.
+    """
     config = config or LintConfig()
     rules: list[Rule] = instantiate(select, disabled=config.disable)
+    cache = AnalysisCache(Path(cache_dir)) if cache_dir is not None else None
 
     report = LintReport(rules_run=tuple(rule.rule_id for rule in rules))
-    modules: list[ModuleInfo] = []
+
+    # Stage 1: hash every file; parse + summarise only the cache misses.
+    entries: list[_FileEntry] = []
+    resummarized: list[str] = []
+    parsed: set[str] = set()
     for path in iter_python_files([Path(p) for p in paths], config):
+        rel = _relativize(path)
         try:
-            modules.append(load_module(path, _relativize(path)))
-        except ModuleParseError as exc:
-            report.parse_errors.append(str(exc))
-    report.files_checked = len(modules)
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{rel}: cannot read: {exc}")
+            continue
+        sha = content_hash(source)
+        summary = cache.lookup_summary(rel, sha) if cache else None
+        module: Optional[ModuleInfo] = None
+        if summary is None:
+            try:
+                module = _parse(path, rel, source)
+            except ModuleParseError as exc:
+                report.parse_errors.append(str(exc))
+                continue
+            summary = summarize_module(module)
+            resummarized.append(rel)
+            parsed.add(rel)
+            if cache:
+                cache.store_summary(rel, sha, summary)
+        entries.append(_FileEntry(path=path, rel=rel, source=source,
+                                  sha=sha, summary=summary, module=module))
+    report.files_checked = len(entries)
+
+    summaries = {entry.rel: entry.summary for entry in entries}
+    set_returning = set_returning_names(summaries.values())
 
     ctx = ProjectContext(
         config=config,
-        modules=modules,
-        set_returning_callables=collect_set_returning(modules),
+        modules=[e.module for e in entries if e.module is not None],
+        summaries=summaries,
+        set_returning_callables=set_returning,
     )
 
+    # Stage 2: per-module rules, replayed from cache when nothing that
+    # can influence them changed.
+    env_key = ":".join((
+        config.config_hash(),
+        hashlib.sha256("|".join(sorted(set_returning)).encode())
+        .hexdigest()[:16],
+        ",".join(rule.rule_id for rule in rules),
+    ))
     findings: list[Finding] = []
-    for module in modules:
-        for rule in rules:
-            for finding in rule.check_module(module, ctx):
-                if not module.is_suppressed(finding.rule_id, finding.line):
-                    findings.append(finding)
-    module_by_rel = {module.rel: module for module in modules}
+    for entry in entries:
+        cached = (cache.lookup_findings(entry.rel, entry.sha, env_key)
+                  if cache else None)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        if entry.module is None:
+            # Summary was warm but the findings environment changed.
+            try:
+                entry.module = _parse(entry.path, entry.rel, entry.source)
+            except ModuleParseError as exc:  # pragma: no cover - same bytes
+                report.parse_errors.append(str(exc))
+                continue
+            parsed.add(entry.rel)
+            ctx.modules.append(entry.module)
+        fresh = [
+            finding
+            for rule in rules
+            for finding in rule.check_module(entry.module, ctx)
+            if not entry.module.is_suppressed(finding.rule_id, finding.line)
+        ]
+        if cache:
+            cache.store_findings(entry.rel, entry.sha, env_key, fresh)
+        findings.extend(fresh)
+
+    # Stage 3: project rules over summaries, with incremental effect
+    # propagation when the binding environment is unchanged.
+    fingerprint = None
+    if cache:
+        fingerprint = ctx.graph.binding_fingerprint()
+        cached_raw = cache.lookup_signatures(fingerprint)
+        if cached_raw is not None:
+            ctx.cached_signatures = EffectAnalysis.signatures_from_json(
+                cached_raw)
+            ctx.dirty_rels = frozenset(resummarized)
     for rule in rules:
         for finding in rule.check_project(ctx):
-            module = module_by_rel.get(finding.path)
-            if module is not None and module.is_suppressed(
+            summary = summaries.get(finding.path)
+            if summary is not None and summary.is_suppressed(
                     finding.rule_id, finding.line):
                 continue
             findings.append(finding)
 
+    if cache and fingerprint is not None:
+        cache.store_signatures(fingerprint, ctx.effects.to_json())
+        cache.save()
+
     report.findings = sorted(set(findings))
+    report.reanalyzed_files = tuple(sorted(parsed))
+    report.effects_recomputed = (tuple(ctx._effects.recomputed)
+                                 if ctx._effects is not None else ())
     return report

@@ -51,6 +51,13 @@ class LintReport:
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
     rules_run: tuple[str, ...] = ()
+    #: Rel paths actually parsed this run (everything on a cold run; only
+    #: changed files and their findings-invalidated peers on a warm run).
+    #: Cache-state-dependent, so deliberately NOT part of to_json() — the
+    #: committed baseline must not depend on cache temperature.
+    reanalyzed_files: tuple[str, ...] = ()
+    #: Call-graph node keys whose effect signatures were re-propagated.
+    effects_recomputed: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:

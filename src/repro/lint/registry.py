@@ -12,28 +12,68 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Type
+from typing import Iterable, Iterator, Optional, Type
 
+from .callgraph import CallGraph, ModuleSummary, summarize_module
 from .config import LintConfig
+from .effects import Effect, EffectAnalysis
 from .findings import Finding
 from .module import ModuleInfo
 
 
 @dataclass
 class ProjectContext:
-    """Everything a rule may consult beyond the module it is checking."""
+    """Everything a rule may consult beyond the module it is checking.
+
+    Per-module rules see parsed :class:`ModuleInfo` objects; project
+    rules run on :class:`ModuleSummary` objects alone (via :attr:`graph`
+    and :attr:`effects`), which is what makes warm cache runs possible —
+    on a warm run :attr:`modules` holds only the files that were actually
+    re-parsed, while :attr:`summaries` always covers the whole tree.
+    """
 
     config: LintConfig
     modules: list[ModuleInfo] = field(default_factory=list)
+    #: Whole-tree module summaries, keyed by rel path (cache-restorable).
+    summaries: dict[str, ModuleSummary] = field(default_factory=dict)
     #: Simple names of project callables whose return annotation is a
     #: set type — used by CDE003 to flag iteration over their results.
     set_returning_callables: frozenset[str] = frozenset()
+    #: Cached effect signatures from a previous run (same binding
+    #: fingerprint), plus the rel paths re-summarised this run; when both
+    #: are set, effect propagation touches only the dirty subgraph.
+    cached_signatures: Optional[dict[str, frozenset[Effect]]] = None
+    dirty_rels: Optional[frozenset[str]] = None
+    _graph: Optional[CallGraph] = field(default=None, repr=False)
+    _effects: Optional[EffectAnalysis] = field(default=None, repr=False)
 
     def module_by_suffix(self, suffix: str) -> ModuleInfo | None:
         for module in self.modules:
             if ("/" + module.rel).endswith("/" + suffix.lstrip("/")):
                 return module
         return None
+
+    @property
+    def graph(self) -> CallGraph:
+        """The project call graph, built lazily from summaries."""
+        if self._graph is None:
+            summaries = self.summaries or {
+                module.rel: summarize_module(module)
+                for module in self.modules
+            }
+            self._graph = CallGraph(summaries.values())
+        return self._graph
+
+    @property
+    def effects(self) -> EffectAnalysis:
+        """Fixed-point effect signatures, built lazily over :attr:`graph`."""
+        if self._effects is None:
+            self._effects = EffectAnalysis.build(
+                self.graph,
+                cached=self.cached_signatures,
+                dirty_rels=self.dirty_rels,
+            )
+        return self._effects
 
 
 class Rule:
@@ -60,6 +100,14 @@ class Rule:
             rule_id=self.rule_id,
             message=message,
             symbol=symbol,
+        )
+
+    def finding_at(self, rel: str, line: int, col: int, message: str,
+                   symbol: str = "") -> Finding:
+        """A finding at a summary-recorded location (no AST in hand)."""
+        return Finding(
+            path=rel, line=line, col=col, rule_id=self.rule_id,
+            message=message, symbol=symbol,
         )
 
 

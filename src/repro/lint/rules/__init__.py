@@ -6,10 +6,13 @@ determinism invariant it protects (full rationale: docs/STATIC_ANALYSIS.md).
 """
 
 from . import (  # noqa: F401
+    effects_contract,
     iteration,
+    layering,
     mutable_defaults,
     public_annotations,
     randomness,
+    rng_streams,
     shard_purity,
     wallclock,
 )

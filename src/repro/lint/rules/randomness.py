@@ -23,18 +23,14 @@ from typing import Iterator
 from ..astutil import import_aliases, module_level_nodes, resolve_call_target, \
     walk_with_symbols
 from ..config import path_matches_any
+from ..effects import GLOBAL_RANDOM_DRAWS
 from ..findings import Finding
 from ..module import ModuleInfo
 from ..registry import ProjectContext, Rule, register
 
-#: Draw/state functions of the global ``random`` module.
-GLOBAL_DRAWS = frozenset({
-    "random.random", "random.randint", "random.randrange", "random.choice",
-    "random.choices", "random.sample", "random.shuffle", "random.uniform",
-    "random.gauss", "random.normalvariate", "random.expovariate",
-    "random.betavariate", "random.triangular", "random.getrandbits",
-    "random.randbytes", "random.seed", "random.setstate", "random.getstate",
-})
+#: Draw/state functions of the global ``random`` module — shared with the
+#: effect engine's RNG leaf table (single source of truth).
+GLOBAL_DRAWS = GLOBAL_RANDOM_DRAWS
 
 
 @register

@@ -1,0 +1,64 @@
+"""CDE009 — RNG stream-label hygiene.
+
+The seed-derivation scheme (``derive_seed`` / ``RngFactory.stream``)
+gives every consumer its own deterministic stream, keyed by a string
+label.  The scheme's guarantee — adding a draw in one component never
+perturbs another — holds only while each label has exactly one drawing
+call site: ``RngFactory`` memoises streams, so two call sites sharing a
+label receive the *same* ``random.Random`` and their draws interleave in
+execution order, which silently couples the two components.
+
+This rule collects every statically-labelled ``*.stream("label")`` and
+``make_rng(seed, "label")`` call site project-wide (f-string labels are
+normalised to ``{}`` templates, so two sites building
+``f"platform/{name}"`` collide too, as they should — the same runtime
+name would alias them).  Any label drawn from two or more distinct call
+sites is reported at every site except the first, pointing back at the
+first so the fix (split the labels, or thread one stream through) is
+obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..callgraph import MODULE_SCOPE
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+
+
+@register
+class RngStreamHygieneRule(Rule):
+    rule_id = "CDE009"
+    name = "rng-stream-hygiene"
+    summary = "same RNG stream label drawn from two call sites"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        #: label -> sorted unique (rel, line, col, owner qualname) sites
+        sites: dict[str, set[tuple[str, int, int, str]]] = {}
+        for rel in sorted(ctx.summaries):
+            summary = ctx.summaries[rel]
+            for func in summary.functions:
+                for call in func.streams:
+                    sites.setdefault(call.label, set()).add(
+                        (rel, call.line, call.col, func.qualname))
+            for call in summary.module_streams:
+                sites.setdefault(call.label, set()).add(
+                    (rel, call.line, call.col, MODULE_SCOPE))
+
+        for label in sorted(sites):
+            group = sorted(sites[label])
+            if len({(rel, line) for rel, line, _c, _q in group}) < 2:
+                continue
+            first_rel, first_line, _col, _qual = group[0]
+            for rel, line, col, qualname in group[1:]:
+                if (rel, line) == (first_rel, first_line):
+                    continue
+                yield self.finding_at(
+                    rel, line, col,
+                    f'RNG stream label "{label}" is also drawn at '
+                    f"{first_rel}:{first_line} — streams are memoised, so "
+                    f"two call sites sharing a label interleave their draws; "
+                    f"give each call site its own label",
+                    symbol=qualname,
+                )

@@ -7,97 +7,39 @@ entry point reads per-process or per-host state: ``os.environ`` /
 ``os.getenv``, ``os.getpid``, or raw ``socket`` access would make a
 shard's output depend on *which* process ran it.
 
-The rule walks a conservative, name-based call graph: starting from the
-configured ``path::function`` entry points (``repro/study/parallel.py::
-run_shard`` by default), a call to any simple name binds to *every*
-project function or method of that name.  That over-approximates
-reachability — which is the right direction for an invariant checker: a
-false edge can only widen the audited surface, never hide an impurity.
+Since the effect engine landed, the rule runs on the shared project call
+graph (:mod:`repro.lint.callgraph`) instead of building its own:
+starting from the configured ``path::function`` entry points
+(``repro/study/parallel.py::run_shard`` by default), it reports every
+ENV effect site and every raw ``socket`` use reachable through the
+conservative name-based graph, with one shortest witness chain per
+function.  Over-approximation is the right direction for an invariant
+checker: a false edge can only widen the audited surface, never hide an
+impurity.
+
+The wider effect contract (CLOCK, RNG, non-socket IO) on the same roots
+is CDE007's job; this rule keeps its original, narrower meaning so
+suppressions and baselines stay stable.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass
 from typing import Iterator
 
-from ..astutil import dotted_name, import_aliases, iter_function_defs
+from ..effects import Effect, EffectSite
 from ..findings import Finding
-from ..module import ModuleInfo
 from ..registry import ProjectContext, Rule, register
 
-#: Dotted prefixes whose use inside a shard call graph is impure.
-IMPURE_PREFIXES = ("socket.", "os.environ.")
-IMPURE_NAMES = frozenset({
-    "os.environ", "os.getenv", "os.putenv", "os.getpid", "os.getppid",
-    "socket",
-})
 
-
-@dataclass
-class _FunctionNode:
-    """One project function/method in the call-graph index."""
-
-    module: ModuleInfo
-    node: ast.FunctionDef | ast.AsyncFunctionDef
-    qualname: str
-    calls: frozenset[str] = frozenset()           # simple callee names
-    impurities: tuple[tuple[ast.AST, str], ...] = ()
-
-    @property
-    def key(self) -> str:
-        return f"{self.module.rel}::{self.qualname}"
-
-
-def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
-    """Walk ``func`` without descending into nested function bodies.
-
-    Nested defs are indexed as their own call-graph nodes, reached via
-    the call edge their name creates — scanning their bodies here too
-    would double-report every impurity.
-    """
-    stack = list(ast.iter_child_nodes(func))
-    while stack:
-        node = stack.pop()
-        yield node
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            stack.extend(ast.iter_child_nodes(node))  # lambdas stay inline
-
-
-def _impurities_in(func: ast.AST,
-                   aliases: dict[str, str]) -> tuple[tuple[ast.AST, str], ...]:
-    found: list[tuple[ast.AST, str]] = []
-    for node in _walk_own(func):
-        if isinstance(node, (ast.Attribute, ast.Name)):
-            dotted = dotted_name(node)
-            if dotted is None:
-                continue
-            head, _, rest = dotted.partition(".")
-            origin = aliases.get(head, head)
-            resolved = f"{origin}.{rest}" if rest else origin
-            if resolved in IMPURE_NAMES or any(
-                    resolved.startswith(prefix) for prefix in IMPURE_PREFIXES):
-                found.append((node, resolved))
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            modname = (node.names[0].name if isinstance(node, ast.Import)
-                       else (node.module or ""))
-            if modname == "socket" or modname.startswith("socket."):
-                found.append((node, "import socket"))
-    # Deterministic, deduped by location.
-    unique = {(n.lineno, n.col_offset, label): (n, label)
-              for n, label in found if hasattr(n, "lineno")}
-    return tuple(unique[key] for key in sorted(unique))
-
-
-def _called_names(func: ast.AST) -> frozenset[str]:
-    names: set[str] = set()
-    for node in _walk_own(func):
-        if isinstance(node, ast.Call):
-            if isinstance(node.func, ast.Name):
-                names.add(node.func.id)
-            elif isinstance(node.func, ast.Attribute):
-                names.add(node.func.attr)
-    return frozenset(names)
+def _is_impurity(site: EffectSite) -> bool:
+    """Per-process/per-host state: any ENV read, or raw socket I/O."""
+    effect = Effect(site.effect)
+    if effect is Effect.ENV:
+        return True
+    if effect is Effect.IO:
+        return (site.label == "socket" or site.label.startswith("socket.")
+                or site.label == "import socket")
+    return False
 
 
 @register
@@ -107,73 +49,26 @@ class ShardPurityRule(Rule):
     summary = "per-process state reachable from a shard worker"
 
     def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
-        index: dict[str, _FunctionNode] = {}
-        by_simple_name: dict[str, list[_FunctionNode]] = {}
-        class_inits: dict[str, _FunctionNode] = {}
-        for module in ctx.modules:
-            aliases = import_aliases(module.tree)
-            for func, qualname, _is_method in iter_function_defs(module.tree):
-                fnode = _FunctionNode(
-                    module=module,
-                    node=func,
-                    qualname=qualname,
-                    calls=_called_names(func),
-                    impurities=_impurities_in(func, aliases),
-                )
-                index[fnode.key] = fnode
-                by_simple_name.setdefault(func.name, []).append(fnode)
-                if func.name == "__init__" and "." in qualname:
-                    class_inits[qualname.rsplit(".", 1)[0]] = fnode
-
-        entries = self._resolve_entries(ctx, index)
+        graph = ctx.graph
+        entries = [
+            key
+            for spec in ctx.config.shard_entries
+            for key in graph.resolve_entry(spec)
+        ]
         if not entries:
             return
 
-        # BFS over the name-based call graph, remembering one shortest
-        # chain per function for the report.
-        chains: dict[str, tuple[str, ...]] = {}
-        queue: list[_FunctionNode] = []
-        for entry in entries:
-            chains[entry.key] = (entry.qualname,)
-            queue.append(entry)
-        while queue:
-            current = queue.pop(0)
-            callees: list[_FunctionNode] = []
-            for name in sorted(current.calls):
-                callees.extend(by_simple_name.get(name, ()))
-                init = class_inits.get(name)
-                if init is not None:
-                    callees.append(init)
-            for callee in callees:
-                if callee.key in chains:
-                    continue
-                chains[callee.key] = chains[current.key] + (callee.qualname,)
-                queue.append(callee)
-
+        chains = graph.reachable_with_chains(entries)
         for key in sorted(chains):
-            fnode = index[key]
+            node = graph.nodes[key]
             chain = " -> ".join(chains[key])
-            for node, label in fnode.impurities:
-                yield self.finding(
-                    fnode.module, node,
-                    f"{label} inside shard-worker call graph "
+            for site in node.effects:
+                if not _is_impurity(site):
+                    continue
+                yield self.finding_at(
+                    node.rel, site.line, site.col,
+                    f"{site.label} inside shard-worker call graph "
                     f"(reached via {chain}) — shard results must be a pure "
                     f"function of the ShardTask",
-                    symbol=fnode.qualname,
+                    symbol=node.qualname,
                 )
-
-    def _resolve_entries(
-        self, ctx: ProjectContext, index: dict[str, _FunctionNode]
-    ) -> list[_FunctionNode]:
-        entries: list[_FunctionNode] = []
-        for spec in ctx.config.shard_entries:
-            suffix, _, funcname = spec.partition("::")
-            if not funcname:
-                continue
-            module = ctx.module_by_suffix(suffix)
-            if module is None:
-                continue
-            for fnode in index.values():
-                if fnode.module is module and fnode.qualname == funcname:
-                    entries.append(fnode)
-        return entries

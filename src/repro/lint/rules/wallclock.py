@@ -15,23 +15,14 @@ from typing import Iterator
 
 from ..astutil import import_aliases, resolve_call_target, walk_with_symbols
 from ..config import path_matches_any
+from ..effects import WALLCLOCK_READS
 from ..findings import Finding
 from ..module import ModuleInfo
 from ..registry import ProjectContext, Rule, register
 
-#: Fully-qualified callables that read the wall clock.
-BANNED_CALLS = frozenset({
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.localtime",
-    "time.gmtime",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-})
+#: Fully-qualified callables that read the wall clock — shared with the
+#: effect engine's CLOCK leaf table (single source of truth).
+BANNED_CALLS = WALLCLOCK_READS
 
 
 @register

@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 serialisation of a lint report.
+
+Minimal, deterministic SARIF so CI can upload the report and surface
+findings as pull-request annotations.  Only stable report content goes
+in — no timestamps, hostnames or absolute paths — so the output is
+byte-identical for identical trees and can be snapshot-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .findings import LintReport
+from .registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "cdelint"
+TOOL_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    registry = all_rules()
+    cls = registry.get(rule_id)
+    descriptor: dict[str, Any] = {"id": rule_id}
+    if cls is not None:
+        descriptor["name"] = cls.name
+        descriptor["shortDescription"] = {"text": cls.summary}
+    return descriptor
+
+
+def to_sarif(report: LintReport) -> dict[str, Any]:
+    """The report as a SARIF 2.1.0 log (one run)."""
+    results: list[dict[str, Any]] = []
+    for finding in sorted(report.findings):
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast columns 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+                **({"logicalLocations": [{
+                    "fullyQualifiedName": finding.symbol}]}
+                   if finding.symbol else {}),
+            }],
+        })
+    for message in report.parse_errors:
+        results.append({
+            "ruleId": "parse-error",
+            "level": "error",
+            "message": {"text": message},
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": [
+                        _rule_descriptor(rule_id)
+                        for rule_id in sorted(report.rules_run)
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }

@@ -49,6 +49,14 @@ class Endpoint(Protocol):
         """
 
 
+class SinkEndpoint:
+    """An addressable host that never answers DNS (clients, probers)."""
+
+    def handle_message(self, message: DnsMessage, src_ip: str,
+                       network: "Network") -> Optional[DnsMessage]:
+        return None
+
+
 @dataclass(frozen=True)
 class LinkProfile:
     """The path characteristics between an endpoint and 'the Internet'."""

@@ -51,3 +51,17 @@ class RngFactory:
 def make_rng(seed: Optional[int], stream: str = "default") -> random.Random:
     """One-off stream constructor for components used standalone."""
     return RngFactory(seed if seed is not None else 0).stream(stream)
+
+
+def fallback_rng(component: str) -> random.Random:
+    """Deterministic default stream for a component whose caller injected
+    no rng (standalone or test construction).
+
+    Seeded via :func:`derive_seed` under root seed 0, so (a) the default
+    is still fully deterministic and (b) two components falling back at
+    the same time get *independent* streams instead of the identical
+    ``random.Random(0)`` sequence — default-constructed siblings must not
+    be correlated.  Simulation paths always inject streams from the
+    world's :class:`RngFactory`; this is never reached from a seeded run.
+    """
+    return random.Random(derive_seed(0, f"fallback/{component}"))

@@ -26,6 +26,7 @@ from ..dns.name import DnsName
 from ..dns.record import group_rrsets
 from ..dns.rrtype import RCode, RRType
 from ..net.network import LinkProfile, Network
+from ..net.rng import fallback_rng
 
 
 class ForwardingResolver:
@@ -41,7 +42,7 @@ class ForwardingResolver:
         self.upstream_ips = list(upstream_ips)
         self.network = network
         self.cache = cache  # None == pure relay, no caching logic at all
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("resolver.ForwardingResolver")
 
     def attach(self, profile: Optional[LinkProfile] = None) -> None:
         self.network.register(self.listen_ip, self, profile)

@@ -31,6 +31,7 @@ from ..dns.record import CnameRdata, NsRdata, ResourceRecord, RRSet, group_rrset
 from ..dns.rrtype import RCode, RRType
 from ..cache.cache import DnsCache
 from ..cache.entry import EntryKind
+from ..net.rng import fallback_rng
 
 MAX_CNAME_DEPTH = 12
 MAX_REFERRALS = 24
@@ -99,7 +100,7 @@ class IterativeResolver:
         if not root_hint_ips:
             raise ValueError("need at least one root hint")
         self.root_hint_ips = list(root_hint_ips)
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("resolver.IterativeResolver")
         self.now = now or (lambda: 0.0)
 
     # -- public API ---------------------------------------------------------

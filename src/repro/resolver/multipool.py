@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..net.network import LinkProfile, Network
+from ..net.rng import fallback_rng
 from .platform import PlatformConfig, ResolutionPlatform
 from .selection import CacheSelector
 
@@ -59,7 +60,7 @@ class MultiPoolPlatform:
                  rng: Optional[random.Random] = None):
         self.config = config
         self.network = network
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("resolver.MultiPoolPlatform")
         self.pools: dict[str, ResolutionPlatform] = {}
         for pool in config.pools:
             pool_config = PlatformConfig(

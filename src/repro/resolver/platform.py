@@ -33,6 +33,7 @@ from ..dns.name import DnsName
 from ..dns.record import CnameRdata, RRSet
 from ..dns.rrtype import RCode, RRType
 from ..net.network import LinkProfile, Network
+from ..net.rng import fallback_rng
 from .iterative import IterativeResolver, ResolutionResult
 from .selection import (
     CacheSelector,
@@ -107,7 +108,7 @@ class ResolutionPlatform:
                  rng: Optional[random.Random] = None):
         self.config = config
         self.network = network
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("resolver.ResolutionPlatform")
         self.cache_selector: CacheSelector = (
             config.cache_selector or UniformRandomSelector(self.rng)
         )

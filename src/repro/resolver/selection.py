@@ -22,6 +22,7 @@ from typing import Optional, Protocol
 
 from ..dns.name import DnsName
 from ..dns.rrtype import RRType
+from ..net.rng import fallback_rng
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,7 @@ class UniformRandomSelector:
     is_unpredictable = True
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng or random.Random(0)
+        self._rng = rng or fallback_rng("resolver.UniformRandomSelector")
 
     def select(self, context: QueryContext, n_caches: int) -> int:
         return self._rng.randrange(n_caches)
@@ -129,7 +130,7 @@ class StickyRandomSelector:
         if not 0.0 <= stickiness < 1.0:
             raise ValueError("stickiness must be in [0, 1)")
         self._stickiness = stickiness
-        self._rng = rng or random.Random(0)
+        self._rng = rng or fallback_rng("resolver.StickyRandomSelector")
         self._last: Optional[int] = None
 
     def select(self, context: QueryContext, n_caches: int) -> int:
@@ -155,7 +156,7 @@ def make_selector(name: str, rng: Optional[random.Random] = None) -> CacheSelect
         factory = SELECTOR_FACTORIES[name]
     except KeyError:
         raise ValueError(f"unknown cache selector {name!r}") from None
-    return factory(rng or random.Random(0))
+    return factory(rng or fallback_rng("resolver.make_selector"))
 
 
 class EgressSelector(Protocol):
@@ -170,7 +171,7 @@ class RandomEgressSelector:
     a resolution of a given name'."""
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng or random.Random(0)
+        self._rng = rng or fallback_rng("resolver.RandomEgressSelector")
 
     def select(self, upstream_ip: str, n_egress: int) -> int:
         return self._rng.randrange(n_egress)
@@ -209,7 +210,7 @@ class CacheAffineEgressSelector:
         if n_caches < 1:
             raise ValueError("need at least one cache")
         self.n_caches = n_caches
-        self._rng = rng or random.Random(0)
+        self._rng = rng or fallback_rng("resolver.CacheAffineEgressSelector")
 
     def owned_indices(self, cache_index: int, n_egress: int) -> list[int]:
         owned = [j for j in range(n_egress)

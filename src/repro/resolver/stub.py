@@ -17,12 +17,13 @@ from typing import TYPE_CHECKING, Optional
 
 from ..cache.cache import DnsCache
 from ..cache.entry import EntryKind
-from ..dns.errors import QueryTimeout
+from ..dns.errors import AttemptRecord, ProbeFailure, QueryTimeout
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import group_rrsets, ResourceRecord
 from ..dns.rrtype import RCode, RRType
 from ..net.network import Network
+from ..net.rng import fallback_rng
 
 if TYPE_CHECKING:
     from ..core.resilient import DegradationTally, RetryPolicy
@@ -59,14 +60,14 @@ class StubResolver:
         self.host_ip = host_ip
         self.ingress_ips = list(ingress_ips)
         self.network = network
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fallback_rng("resolver.StubResolver")
         # An *active* retry policy repeats the resolv.conf rotation with
         # backoff between rounds (how real stubs behave under `options
         # attempts:n`); None keeps the seed's single rotation.
         self.retry_policy = (retry_policy
                              if retry_policy is not None and retry_policy.active
                              else None)
-        self.retry_rng = retry_rng or random.Random(0)
+        self.retry_rng = retry_rng or fallback_rng("resolver.StubResolver.retry")
         self.tally = tally
         # OS caches are small; Windows caps positive entries at 1 day.
         self.local_cache = local_cache or DnsCache(
@@ -99,10 +100,6 @@ class StubResolver:
         )
 
     def _transact(self, message: DnsMessage) -> DnsMessage:
-        # Imported lazily: repro.core pulls in resolver modules at package
-        # import, so a module-level import here would be circular.
-        from ..core.resilient import AttemptRecord, ProbeFailure
-
         policy = self.retry_policy
         rounds = policy.max_attempts if policy is not None else 1
         records: list[AttemptRecord] = []

@@ -29,7 +29,7 @@ from ..net.address import AddressAllocator
 from ..net.faults import FaultInjector, fault_plan
 from ..net.latency import wan_path
 from ..net.loss import NoLoss, country_loss
-from ..net.network import LinkProfile, Network
+from ..net.network import LinkProfile, Network, SinkEndpoint
 from ..net.rng import RngFactory
 from ..resolver.platform import PlatformConfig, ResolutionPlatform
 from ..resolver.selection import make_selector
@@ -38,13 +38,9 @@ from ..server.hierarchy import RootHierarchy
 from .population import PlatformSpec
 
 
-class SinkEndpoint:
-    """An addressable host that never answers DNS (clients, probers)."""
-
-    def handle_message(self, message: DnsMessage, src_ip: str,
-                       network: Network) -> Optional[DnsMessage]:
-        return None
-
+# SinkEndpoint moved to repro.net.network (the layer that owns endpoint
+# semantics); re-imported above so ``repro.study.SinkEndpoint`` keeps
+# working for existing callers.
 
 @dataclass
 class HostedPlatform:
@@ -210,7 +206,13 @@ class SimulatedInternet:
 
         self._counters.platforms += 1
         platform_name = name or f"multipool-{self._counters.platforms}"
-        rng = self.rng_factory.stream(f"platform/{platform_name}")
+        # Shares the "platform/<name>" label family with
+        # add_platform_from_spec deliberately: both are platform builders,
+        # a world never constructs the same platform name twice (the
+        # shared _counters.platforms counter guarantees distinct default
+        # names), and renaming the label would shift every committed
+        # expectation derived from existing seeds.
+        rng = self.rng_factory.stream(f"platform/{platform_name}")  # cdelint: disable=CDE009
         pools = []
         for index, (n_ingress, n_caches, n_egress) in enumerate(pool_shapes):
             pool = self.platform_allocator.allocate_pool(n_ingress + n_egress)

@@ -1,0 +1,31 @@
+"""CDE007 bad fixture: effects reachable from the contracted root.
+
+The leaf effects live two calls deep so the findings prove the
+propagation, and they are chosen so no other rule fires on this file:
+``time.sleep`` is CLOCK but not a wall-clock *read* (CDE001),
+``random.Random(42)`` is a fixed-seed stream but not a global draw
+(CDE002), and ``open`` is file I/O, which shard purity (CDE004) does not
+police.
+"""
+
+import random
+import time
+
+
+def _pace(delay: float) -> None:
+    time.sleep(delay)                                     # CDE007 (CLOCK)
+
+
+def _load_hints(path: str) -> str:
+    with open(path) as handle:                            # CDE007 (IO)
+        return handle.read()
+
+
+def _jitter() -> float:
+    return random.Random(42).random()                     # CDE007 (RNG)
+
+
+def run_shard(task: object) -> list[str]:
+    _pace(0.1)
+    hints = _load_hints("hints.txt")
+    return [hints, str(_jitter())]

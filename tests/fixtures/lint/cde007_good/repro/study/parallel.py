@@ -1,0 +1,9 @@
+"""CDE007 good fixture: the contracted root is a pure function."""
+
+
+def _score(values: list[float]) -> float:
+    return sum(values) / max(len(values), 1)
+
+
+def run_shard(task: object) -> list[str]:
+    return [str(_score([1.0, 2.0]))]

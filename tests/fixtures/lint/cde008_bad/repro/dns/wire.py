@@ -1,0 +1,19 @@
+"""CDE008 bad fixture: the bottom layer importing the study layer.
+
+Both the module-level absolute import and the function-local relative
+import are runtime dependencies and must be flagged; the
+``TYPE_CHECKING``-guarded import is annotation-only and exempt.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.study.internet import InternetStudy                # CDE008
+
+if TYPE_CHECKING:
+    from repro.study.population import PopulationModel        # exempt
+
+
+def encode(study: "PopulationModel") -> bytes:
+    from ..study import internet                              # CDE008
+
+    return bytes(len(internet.__name__) + isinstance(study, InternetStudy))

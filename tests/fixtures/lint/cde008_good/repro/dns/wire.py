@@ -1,0 +1,9 @@
+"""CDE008 good fixture: the bottom layer imports only itself and stdlib."""
+
+import struct
+
+from repro.dns.message import Message
+
+
+def encode(message: Message) -> bytes:
+    return struct.pack("!H", len(message.question))

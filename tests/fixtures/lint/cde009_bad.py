@@ -1,0 +1,17 @@
+"""CDE009 bad fixture: two call sites drawing the same stream label."""
+
+
+def jitter(rng_factory):
+    return rng_factory.stream("probe/jitter").random()    # first site
+
+
+def backoff(rng_factory):
+    return rng_factory.stream("probe/jitter").random()    # CDE009
+
+
+def platform_rng(rng_factory, name):
+    return rng_factory.stream(f"platform/{name}")         # first site
+
+
+def platform_rng_again(rng_factory, name):
+    return rng_factory.stream(f"platform/{name}")         # CDE009 (template)

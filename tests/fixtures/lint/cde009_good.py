@@ -1,0 +1,13 @@
+"""CDE009 good fixture: every stream label has exactly one call site."""
+
+
+def jitter(rng_factory):
+    return rng_factory.stream("probe/jitter").random()
+
+
+def backoff(rng_factory):
+    return rng_factory.stream("probe/backoff").random()
+
+
+def platform_rng(rng_factory, name):
+    return rng_factory.stream(f"platform/{name}")

@@ -1,0 +1,21 @@
+"""Effect fixture: CLOCK leaves (wall-clock read and real sleep)."""
+
+import time
+from datetime import datetime
+
+
+def read_clock() -> float:
+    return time.time()
+
+
+def nap() -> None:
+    time.sleep(0.5)
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()
+
+
+def sanctioned() -> float:
+    # perf_counter is the documented way to time real elapsed work.
+    return time.perf_counter()

@@ -1,0 +1,26 @@
+"""Effect fixture: mutual recursion — propagation must still converge.
+
+``ping`` and ``pong`` call each other; ``pong`` also sleeps, so the
+fixed point must assign CLOCK to both, and to ``driver`` above them.
+"""
+
+import time
+
+
+def ping(depth: int) -> int:
+    if depth <= 0:
+        return 0
+    return pong(depth - 1)
+
+
+def pong(depth: int) -> int:
+    time.sleep(0.01)
+    return ping(depth - 1)
+
+
+def driver() -> int:
+    return ping(4)
+
+
+def bystander() -> int:
+    return 7

@@ -1,0 +1,11 @@
+"""Effect fixture: ENV leaves (per-process / per-host state reads)."""
+
+import os
+
+
+def mode() -> str:
+    return os.environ.get("REPRO_MODE", "sim")
+
+
+def worker_id() -> int:
+    return os.getpid()

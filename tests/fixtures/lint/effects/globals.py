@@ -1,0 +1,9 @@
+"""Effect fixture: MUTATES_GLOBAL leaf (a ``global`` statement)."""
+
+_COUNTER = 0
+
+
+def bump() -> int:
+    global _COUNTER
+    _COUNTER += 1
+    return _COUNTER

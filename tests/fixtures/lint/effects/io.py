@@ -1,0 +1,16 @@
+"""Effect fixture: IO leaves (files, console, socket references)."""
+
+import socket
+
+
+def read_file(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def log(message: str) -> None:
+    print(message)
+
+
+def connect(host: str) -> object:
+    return socket.create_connection((host, 53))

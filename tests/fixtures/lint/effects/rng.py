@@ -1,0 +1,25 @@
+"""Effect fixture: RNG leaves (global draws, entropy, fixed seeds)."""
+
+import os
+import random
+
+
+def global_draw() -> float:
+    return random.random()
+
+
+def entropy() -> bytes:
+    return os.urandom(8)
+
+
+def fixed_seed() -> float:
+    return random.Random(1234).random()
+
+
+def unseeded() -> float:
+    return random.Random().random()
+
+
+def seeded_properly(seed: int) -> float:
+    # A non-literal seed is assumed to come from derive_seed — not a leaf.
+    return random.Random(seed).random()

@@ -1,0 +1,5 @@
+"""Effect fixture: UNORDERED leaf (iterating a set)."""
+
+
+def rows(sources: list[str]) -> list[str]:
+    return [ip for ip in set(sources)]

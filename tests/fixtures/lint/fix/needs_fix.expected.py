@@ -1,0 +1,25 @@
+"""Autofix fixture: one mechanical defect per fixable rule.
+
+``--fix`` must wrap the set iteration in ``sorted()`` (CDE003), replace
+the mutable default with a ``None`` sentinel plus guard (CDE005), and
+infer the literal-default parameter and ``-> None`` return annotations
+(CDE006).
+"""
+
+
+def rows(sources: list[str]) -> list[str]:
+    out = []
+    for ip in sorted(set(sources)):
+        out.append(ip)
+    return out
+
+
+def collect(row: str, bucket: list[str] | None = None) -> list[str]:
+    if bucket is None:
+        bucket = []
+    bucket.append(row)
+    return bucket
+
+
+def announce(count: int = 3, label: str = "probe") -> None:
+    print(f"{label}: {count}")

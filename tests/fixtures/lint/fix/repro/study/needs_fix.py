@@ -1,0 +1,23 @@
+"""Autofix fixture: one mechanical defect per fixable rule.
+
+``--fix`` must wrap the set iteration in ``sorted()`` (CDE003), replace
+the mutable default with a ``None`` sentinel plus guard (CDE005), and
+infer the literal-default parameter and ``-> None`` return annotations
+(CDE006).
+"""
+
+
+def rows(sources: list[str]) -> list[str]:
+    out = []
+    for ip in set(sources):
+        out.append(ip)
+    return out
+
+
+def collect(row: str, bucket: list[str] = []) -> list[str]:
+    bucket.append(row)
+    return bucket
+
+
+def announce(count=3, label="probe"):
+    print(f"{label}: {count}")

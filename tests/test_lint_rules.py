@@ -2,8 +2,12 @@
 
 The fixture corpus under ``tests/fixtures/lint/`` holds one known-bad and
 one known-good snippet per rule (CDE003/CDE006 live under a
-``repro/study/`` subtree because those rules are path-scoped; CDE004 has
-one tree per verdict because its entry point is resolved by path suffix).
+``repro/study/`` subtree because those rules are path-scoped;
+CDE004/CDE007/CDE008 have one tree per verdict because entry points and
+packages resolve by path suffix).  The whole-program machinery behind
+CDE007–CDE009 has dedicated coverage in test_lint_effects.py, the
+autofixer in test_lint_fix.py, the incremental cache in
+test_lint_cache.py.
 Bad fixtures are driven through the real CLI so exit codes and output
 formats are covered end to end; the engine API is exercised directly for
 finding-level assertions.
@@ -25,9 +29,11 @@ from repro.lint import Finding, JSON_SCHEMA_VERSION, LintConfig, all_rules, \
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
 
-ALL_RULES = ("CDE001", "CDE002", "CDE003", "CDE004", "CDE005", "CDE006")
+ALL_RULES = ("CDE001", "CDE002", "CDE003", "CDE004", "CDE005", "CDE006",
+             "CDE007", "CDE008", "CDE009")
 
-#: (rule, bad fixture, good fixture) — CDE004's fixtures are whole trees.
+#: (rule, bad fixture, good fixture) — CDE004/CDE007/CDE008 fixtures are
+#: whole trees because their entry points / packages resolve by path.
 RULE_FIXTURES = [
     ("CDE001", "cde001_bad.py", "cde001_good.py"),
     ("CDE002", "cde002_bad.py", "cde002_good.py"),
@@ -35,12 +41,15 @@ RULE_FIXTURES = [
     ("CDE004", "cde004_bad", "cde004_good"),
     ("CDE005", "cde005_bad.py", "cde005_good.py"),
     ("CDE006", "repro/study/cde006_bad.py", "repro/study/cde006_good.py"),
+    ("CDE007", "cde007_bad", "cde007_good"),
+    ("CDE008", "cde008_bad", "cde008_good"),
+    ("CDE009", "cde009_bad.py", "cde009_good.py"),
 ]
 
 #: Findings each bad fixture must produce (a floor, not an exact count).
 EXPECTED_MIN_FINDINGS = {
     "CDE001": 4, "CDE002": 4, "CDE003": 5, "CDE004": 2, "CDE005": 3,
-    "CDE006": 3,
+    "CDE006": 3, "CDE007": 3, "CDE008": 2, "CDE009": 2,
 }
 
 
@@ -48,8 +57,10 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    # The incremental cache gets dedicated coverage in test_lint_cache.py;
+    # here every run is cold so fixtures cannot interact through disk.
     return subprocess.run(
-        [sys.executable, "-m", "repro.lint", *args],
+        [sys.executable, "-m", "repro.lint", "--no-cache", *args],
         capture_output=True, text=True, cwd=REPO_ROOT, env=env,
     )
 
@@ -194,6 +205,38 @@ def test_json_report_clean_tree():
     payload = json.loads(result.stdout)
     assert payload["findings"] == []
     assert all(count == 0 for count in payload["counts"].values())
+
+
+def test_sarif_output_matches_golden():
+    result = run_cli("--no-config", "--format", "sarif",
+                     str(Path("tests/fixtures/lint/cde001_bad.py")))
+    assert result.returncode == 1
+    produced = json.loads(result.stdout)
+    golden = json.loads((FIXTURES / "sarif_expected.json").read_text())
+    assert produced == golden
+    run = produced["runs"][0]
+    assert run["tool"]["driver"]["name"] == "cdelint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == list(ALL_RULES)
+    for res in run["results"]:
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_clean_run_has_empty_results():
+    result = run_cli("--no-config", "--format", "sarif",
+                     str(FIXTURES / "cde001_good.py"))
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["runs"][0]["results"] == []
+    assert payload["version"] == "2.1.0"
+
+
+def test_json_flag_conflicts_with_other_formats():
+    result = run_cli("--json", "--format", "sarif", str(FIXTURES))
+    assert result.returncode == 2
+    result = run_cli("--json", "--format", "json",
+                     str(FIXTURES / "cde001_good.py"))
+    assert result.returncode == 0  # redundant but consistent
 
 
 def test_exit_code_2_on_unknown_rule_and_missing_path(tmp_path):
