@@ -57,7 +57,11 @@ def ip_level_census(cde: CdeInfrastructure, prober: DirectProber,
             try:
                 transaction = prober.query(ingress_ip,
                                            cde.unique_name("ipscan"))
-            except QueryTimeout:
+            except QueryTimeout:  # cdelint: disable=CDE013
+                # The classical IP-level scan is deliberately loss-blind:
+                # it models §VI's open-resolver census, which only records
+                # whether an address ever responded.  Dropping the timeout
+                # here IS the baseline's (flawed) methodology.
                 continue
             if transaction.response is not None:
                 responded = True

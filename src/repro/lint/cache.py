@@ -34,9 +34,13 @@ from typing import Any, Optional
 
 from .callgraph import SUMMARY_VERSION, ModuleSummary
 from .findings import Finding
+from .module import SuppressionKey
 
 #: Bump to invalidate every cache on disk (schema or engine changes).
-CACHE_SCHEMA = 1
+#: Schema 2: findings entries became ``{"f": [...], "u": [...]}`` blobs
+#: carrying the used-suppression keys alongside the findings, so the
+#: CDE014 unused-suppression audit is byte-identical cold vs warm.
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = Path(".cdelint_cache")
 
@@ -100,8 +104,9 @@ class AnalysisCache:
 
     # -- per-file module-rule findings --------------------------------------
 
-    def lookup_findings(self, rel: str, sha: str,
-                        env_key: str) -> Optional[list[Finding]]:
+    def lookup_findings(
+        self, rel: str, sha: str, env_key: str,
+    ) -> Optional[tuple[list[Finding], list[SuppressionKey]]]:
         entry = self._data["files"].get(rel)
         if not entry or entry.get("sha") != sha:
             return None
@@ -109,19 +114,24 @@ class AnalysisCache:
         if blob is None:
             return None
         try:
-            return [_finding_from_json(raw) for raw in blob]
+            findings = [_finding_from_json(raw) for raw in blob["f"]]
+            used = [(str(kind), int(line), str(token))
+                    for kind, line, token in blob["u"]]
+            return findings, used
         except (KeyError, TypeError, ValueError):
             return None
 
     def store_findings(self, rel: str, sha: str, env_key: str,
-                       findings: list[Finding]) -> None:
+                       findings: list[Finding],
+                       used: list[SuppressionKey]) -> None:
         entry = self._data["files"].get(rel)
         if not entry or entry.get("sha") != sha:
             return
         # Keep exactly one environment per file: switching configs back
         # and forth re-lints, which is correct and keeps the cache small.
         entry["findings"] = {
-            env_key: [_finding_to_json(f) for f in findings]}
+            env_key: {"f": [_finding_to_json(f) for f in findings],
+                      "u": [list(key) for key in sorted(used)]}}
         self._dirty = True
 
     # -- propagated effect signatures ---------------------------------------

@@ -24,12 +24,18 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from .astutil import dotted_name, import_aliases, iter_function_defs
+from .astutil import (dotted_name, import_aliases, iter_function_defs,
+                      resolve_call_target)
+from .dataflow import (FlowEdge, HandlerSummary, TaintSite, analyze_function)
 from .effects import EffectSite, extract_effect_sites
 from .module import ModuleInfo
+from .taint import MUTABLE_CONSTRUCTORS, matches_any
 
 #: Bump when the summary layout changes (invalidates cached summaries).
-SUMMARY_VERSION = 1
+#: Version 2 added the dataflow layer: per-function flow edges, taint
+#: sites, handler shapes, global read/mutation sets and parameter lists,
+#: plus per-module mutable-global indexes.
+SUMMARY_VERSION = 2
 
 #: Pseudo-function key for statements at module / class-body level.
 MODULE_SCOPE = "<module>"
@@ -85,6 +91,13 @@ class FunctionSummary:
     effects: tuple[EffectSite, ...]    # direct effect sites
     streams: tuple[StreamCall, ...]    # RNG stream labels requested here
     returns_set: bool                  # return annotation is a set type
+    # -- dataflow layer (summary version 2) ---------------------------------
+    flows: tuple[FlowEdge, ...] = ()           # intraprocedural def-use edges
+    sites: tuple[TaintSite, ...] = ()          # candidate taint-source sites
+    handlers: tuple[HandlerSummary, ...] = ()  # except-handler shapes
+    global_reads: tuple[str, ...] = ()         # module mutable globals read
+    global_mutations: tuple[str, ...] = ()     # ... and mutated
+    params: tuple[str, ...] = ()               # parameter names ("*" marker)
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -94,6 +107,12 @@ class FunctionSummary:
             "effects": [site.to_json() for site in self.effects],
             "streams": [call.to_json() for call in self.streams],
             "returns_set": self.returns_set,
+            "flows": [edge.to_json() for edge in self.flows],
+            "sites": [site.to_json() for site in self.sites],
+            "handlers": [handler.to_json() for handler in self.handlers],
+            "global_reads": list(self.global_reads),
+            "global_mutations": list(self.global_mutations),
+            "params": list(self.params),
         }
 
     @classmethod
@@ -108,6 +127,17 @@ class FunctionSummary:
             streams=tuple(StreamCall.from_json(s)
                           for s in raw["streams"]),  # type: ignore[union-attr]
             returns_set=bool(raw["returns_set"]),
+            flows=tuple(FlowEdge.from_json(e)
+                        for e in raw["flows"]),  # type: ignore[union-attr]
+            sites=tuple(TaintSite.from_json(s)
+                        for s in raw["sites"]),  # type: ignore[union-attr]
+            handlers=tuple(HandlerSummary.from_json(h)
+                           for h in raw["handlers"]),  # type: ignore[union-attr]
+            global_reads=tuple(
+                str(n) for n in raw["global_reads"]),  # type: ignore[union-attr]
+            global_mutations=tuple(
+                str(n) for n in raw["global_mutations"]),  # type: ignore[union-attr]
+            params=tuple(str(p) for p in raw["params"]),  # type: ignore[union-attr]
         )
 
 
@@ -121,6 +151,8 @@ class ModuleSummary:
     module_streams: tuple[StreamCall, ...] = ()
     line_suppressions: dict[int, tuple[str, ...]] = field(default_factory=dict)
     file_suppressions: tuple[str, ...] = ()
+    #: module-level names bound to mutable containers (name -> def line)
+    mutable_globals: dict[str, int] = field(default_factory=dict)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         from .module import SUPPRESS_ALL
@@ -142,6 +174,10 @@ class ModuleSummary:
                 for line, rules in sorted(self.line_suppressions.items())
             },
             "file_suppressions": list(self.file_suppressions),
+            "mutable_globals": {
+                name: line
+                for name, line in sorted(self.mutable_globals.items())
+            },
         }
 
     @classmethod
@@ -160,6 +196,10 @@ class ModuleSummary:
             },
             file_suppressions=tuple(
                 str(r) for r in raw["file_suppressions"]),  # type: ignore[union-attr]
+            mutable_globals={
+                str(name): int(line)  # type: ignore[call-overload]
+                for name, line in raw["mutable_globals"].items()  # type: ignore[union-attr]
+            },
         )
 
 
@@ -263,13 +303,46 @@ def _imports(tree: ast.Module) -> tuple[ImportRecord, ...]:
     return tuple(sorted(set(records)))
 
 
+def _mutable_global_defs(tree: ast.Module,
+                         aliases: dict[str, str]) -> dict[str, int]:
+    """Module-level names bound to mutable containers (dict/list/set
+    literals, comprehensions, or mutable-constructor calls).  Dunders
+    (``__all__``) are skipped; class attributes are out of scope."""
+    defs: dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target] if isinstance(
+                stmt.target, ast.Name) else []
+            value = stmt.value
+        else:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set,
+                                     ast.ListComp, ast.SetComp, ast.DictComp))
+        if not mutable and isinstance(value, ast.Call):
+            dotted = resolve_call_target(value.func, aliases)
+            mutable = dotted is not None and matches_any(
+                dotted, MUTABLE_CONSTRUCTORS)
+        if not mutable:
+            continue
+        for target in targets:
+            if not target.id.startswith("__"):
+                defs.setdefault(target.id, stmt.lineno)
+    return defs
+
+
 def summarize_module(module: ModuleInfo) -> ModuleSummary:
     """Build the project-rule summary of one parsed file."""
     from .astutil import annotation_is_set
 
     aliases = import_aliases(module.tree)
+    mutable_globals = _mutable_global_defs(module.tree, aliases)
+    global_names = frozenset(mutable_globals)
     functions: list[FunctionSummary] = []
     for func, qualname, _is_method in iter_function_defs(module.tree):
+        flow = analyze_function(func, aliases)
         functions.append(FunctionSummary(
             qualname=qualname,
             name=func.name,
@@ -279,6 +352,15 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
             effects=extract_effect_sites(func, aliases),
             streams=_stream_calls(func),
             returns_set=annotation_is_set(func.returns),
+            flows=flow.flows,
+            sites=flow.sites,
+            handlers=flow.handlers,
+            # free names only resolve to this module's globals, so the
+            # intersection keeps summaries small without losing a capture
+            global_reads=tuple(sorted(flow.free_reads & global_names)),
+            global_mutations=tuple(sorted(
+                flow.free_mutations & global_names)),
+            params=flow.params,
         ))
     functions.sort(key=lambda f: (f.line, f.col, f.qualname))
     return ModuleSummary(
@@ -292,6 +374,7 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
                            for line, rules in
                            module.line_suppressions.items()},
         file_suppressions=tuple(sorted(module.file_suppressions)),
+        mutable_globals=mutable_globals,
     )
 
 
@@ -321,6 +404,7 @@ class GraphNode:
     col: int
     effects: tuple[EffectSite, ...]
     streams: tuple[StreamCall, ...]
+    summary: FunctionSummary
 
 
 class CallGraph:
@@ -342,7 +426,7 @@ class CallGraph:
                 self.nodes[key] = GraphNode(
                     key=key, rel=rel, qualname=func.qualname, name=func.name,
                     line=func.line, col=func.col, effects=func.effects,
-                    streams=func.streams,
+                    streams=func.streams, summary=func,
                 )
                 self._calls[key] = func.calls
                 self._by_name.setdefault(func.name, []).append(key)
@@ -371,6 +455,18 @@ class CallGraph:
 
     def callers(self, key: str) -> tuple[str, ...]:
         return self._callers.get(key, ())
+
+    def bound_keys(self, name: str) -> tuple[str, ...]:
+        """Node keys a simple callee name binds to (functions of that
+        name plus ``__init__`` of classes of that name)."""
+        return tuple(sorted(set(self._by_name.get(name, []))
+                            | set(self._class_inits.get(name, []))))
+
+    def summary_for(self, rel: str) -> Optional[ModuleSummary]:
+        return self._summaries.get(rel)
+
+    def rels(self) -> tuple[str, ...]:
+        return tuple(sorted(self._summaries))
 
     def binding_fingerprint(self) -> str:
         """Hash of the defined-name index.  When it changes, name-based

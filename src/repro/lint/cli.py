@@ -10,7 +10,9 @@ is fixed; ``--fix --diff`` prints the unified diff without writing.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -83,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print a rule's rationale and fix guidance, then exit",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in git-dirty files and the files "
+             "whose functions transitively call into them",
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions", action="store_true",
+        help="flag suppression comments that waived no finding (CDE014)",
+    )
     return parser
 
 
@@ -115,6 +130,60 @@ def _run_fix(args: argparse.Namespace, config: LintConfig,
     return EXIT_CLEAN
 
 
+def _explain(rule_id: str) -> int:
+    """Print one rule's docstring (rationale, examples, fix guidance)."""
+    registry = all_rules()
+    wanted = rule_id.upper()
+    rule_cls = registry.get(wanted)
+    if rule_cls is None:
+        known = ", ".join(registry)
+        print(f"cdelint: error: unknown rule id {rule_id!r} (known: {known})",
+              file=sys.stderr)
+        return EXIT_USAGE
+    print(f"{wanted}  {rule_cls.name}")
+    print(f"  {rule_cls.summary}")
+    doc = inspect.getdoc(rule_cls)
+    if doc:
+        print()
+        for line in doc.splitlines():
+            print(f"  {line}" if line else "")
+    return EXIT_CLEAN
+
+
+def _git_changed_rels() -> frozenset[str]:
+    """Rel paths of git-dirty ``.py`` files (staged, unstaged, untracked).
+
+    Paths come out of ``git status --porcelain`` relative to the repo
+    root; they are re-relativised against the working directory so they
+    match the rel paths the engine reports.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True, timeout=30,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--no-renames"],
+            capture_output=True, text=True, check=True, timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise ValueError(f"--changed requires a git checkout: {exc}") from exc
+    rels: set[str] = set()
+    cwd = Path.cwd().resolve()
+    for line in status.splitlines():
+        if len(line) < 4:
+            continue
+        candidate = line[3:].strip().strip('"')
+        if not candidate.endswith(".py"):
+            continue
+        absolute = (Path(top) / candidate).resolve()
+        try:
+            rels.add(absolute.relative_to(cwd).as_posix())
+        except ValueError:
+            rels.add(absolute.as_posix())
+    return frozenset(rels)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -129,6 +198,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule_id, rule_cls in all_rules().items():
             print(f"{rule_id}  {rule_cls.name:<22} {rule_cls.summary}")
         return EXIT_CLEAN
+    if args.explain:
+        return _explain(args.explain)
 
     try:
         config = _load_config(args)
@@ -138,8 +209,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir: Optional[Path] = None
         if not args.no_cache:
             cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
-        report = run_lint(args.paths, config=config, select=select,
-                          cache_dir=cache_dir)
+        changed_only: Optional[frozenset[str]] = None
+        if args.changed:
+            changed_only = _git_changed_rels()
+            if not changed_only:
+                print("cdelint --changed: no dirty .py files, nothing to do")
+                return EXIT_CLEAN
+        report = run_lint(
+            args.paths, config=config, select=select, cache_dir=cache_dir,
+            warn_unused_suppressions=args.warn_unused_suppressions,
+            changed_only=changed_only)
     except (ValueError, OSError) as exc:
         print(f"cdelint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -151,5 +230,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(to_sarif(report), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
+        if report.changed_scope is not None:
+            print(f"cdelint --changed: reporting on "
+                  f"{len(report.changed_scope)} file(s) in the dirty "
+                  f"subgraph")
         print(report.render_human())
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS

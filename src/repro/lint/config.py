@@ -69,6 +69,55 @@ class LintConfig:
     typed_paths: tuple[str, ...] = (
         "repro/study/", "repro/core/", "repro/server/", "repro/lint/",
     )
+    #: CDE010 timing-taint sources (attribute/call patterns; the call
+    #: table is single-sourced with the CDE001 CLOCK leaves — see
+    #: ``repro.lint.taint``).  Attribute patterns must end with a
+    #: candidate-universe suffix to be tracked in summaries.
+    timing_sources: tuple[str, ...] = (
+        "clock.now", ".rtt", ".dns_rtt",
+        "time.time", "time.monotonic", "time.perf_counter",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+    )
+    #: CDE010 counting/export sinks: a timing value reaching any of these
+    #: callees unclassified is a finding.  PerfCounters/ShardPerf are
+    #: deliberately absent — they are the sanctioned wall-time telemetry.
+    timing_sinks: tuple[str, ...] = (
+        "CacheCountEstimate", "estimate_from_occupancy",
+        "PlatformMeasurement", "measurement_to_dict",
+        "measurements_to_dict", "report_to_dict", "table1_to_dict",
+    )
+    #: CDE010 sanitizers: the hit/miss classification boundary.  A value
+    #: crossing one of these calls becomes a classification, not a time.
+    timing_sanitizers: tuple[str, ...] = (
+        "LatencyClassifier.fit", "is_miss", "split_bimodal",
+    )
+    #: ``path::qualname`` shard-merge entry points (CDE011): code
+    #: reachable from these but NOT from :attr:`shard_entries` handles
+    #: rows from many worlds and must not touch world-scoped state.
+    merge_entries: tuple[str, ...] = (
+        "repro/study/parallel.py::run_parallel_measurement",
+        "repro/study/parallel.py::measure_population_parallel",
+    )
+    #: Shard-spec constructors (CDE012): fork-unsafe resources must not
+    #: flow into these (specs are pickled across process boundaries).
+    shard_spec_types: tuple[str, ...] = ("ShardTask", "WorldConfig")
+    #: Files whose module-level mutable globals are sanctioned for shard
+    #: use (CDE012) — deterministic value-interning memoisation, plus the
+    #: linter's own import-time rule registry (never on a shard path; it
+    #: only appears reachable through simple-name call binding).
+    shard_state_allow: tuple[str, ...] = ("repro/dns/name.py",
+                                          "repro/lint/")
+    #: Probe-path scopes (CDE013): except handlers here must not swallow
+    #: probe-failure history.
+    probe_paths: tuple[str, ...] = ("repro/core/",)
+    #: Exception types whose *silent* swallowing on a probe path loses
+    #: the degradation signal (CDE013).
+    probe_error_types: tuple[str, ...] = (
+        "ProbeFailure", "QueryTimeout", "ResolutionError",
+    )
+    #: Exception types carrying AttemptRecord history (CDE013): catching
+    #: one without using or re-raising it discards the history.
+    probe_history_types: tuple[str, ...] = ("ProbeFailure",)
     #: Rule IDs disabled globally.
     disable: tuple[str, ...] = ()
 

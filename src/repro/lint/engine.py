@@ -35,8 +35,12 @@ from .callgraph import ModuleSummary, set_returning_names, summarize_module
 from .config import LintConfig, path_matches_any
 from .effects import EffectAnalysis
 from .findings import Finding, LintReport
-from .module import ModuleInfo, ModuleParseError, parse_suppressions
+from .module import (SUPPRESS_ALL, ModuleInfo, ModuleParseError,
+                     SuppressionKey, parse_suppressions, suppression_hits)
 from .registry import ProjectContext, Rule, instantiate
+
+#: Rule id of the engine-implemented unused-suppression audit.
+UNUSED_SUPPRESSION_RULE = "CDE014"
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache",
                         ".cdelint_cache"})
@@ -99,18 +103,33 @@ class _FileEntry:
 def run_lint(paths: Sequence[Path | str],
              config: LintConfig | None = None,
              select: Iterable[str] | None = None,
-             cache_dir: Path | str | None = None) -> LintReport:
+             cache_dir: Path | str | None = None,
+             warn_unused_suppressions: bool = False,
+             changed_only: Iterable[str] | None = None) -> LintReport:
     """Lint ``paths`` and return a :class:`LintReport`.
 
     Pure by default (no I/O side effects beyond reading the files); pass
     ``cache_dir`` to enable the incremental cache, which reads and
     atomically rewrites ``<cache_dir>/cache.json``.
+
+    ``warn_unused_suppressions`` enables the CDE014 audit (equivalent to
+    selecting CDE014 explicitly): suppression comments that waived no
+    finding from any rule that ran this invocation are themselves
+    reported.  ``changed_only`` restricts the *report* to the given rel
+    paths plus every file with a function that transitively calls into
+    them (the dirty subgraph) — the analysis itself still covers the
+    whole tree, so cross-file rules stay sound.
     """
     config = config or LintConfig()
     rules: list[Rule] = instantiate(select, disabled=config.disable)
     cache = AnalysisCache(Path(cache_dir)) if cache_dir is not None else None
+    audit_unused = warn_unused_suppressions or any(
+        rule.rule_id == UNUSED_SUPPRESSION_RULE for rule in rules)
 
-    report = LintReport(rules_run=tuple(rule.rule_id for rule in rules))
+    rules_run = [rule.rule_id for rule in rules]
+    if audit_unused and UNUSED_SUPPRESSION_RULE not in rules_run:
+        rules_run.append(UNUSED_SUPPRESSION_RULE)
+    report = LintReport(rules_run=tuple(rules_run))
 
     # Stage 1: hash every file; parse + summarise only the cache misses.
     entries: list[_FileEntry] = []
@@ -160,11 +179,16 @@ def run_lint(paths: Sequence[Path | str],
         ",".join(rule.rule_id for rule in rules),
     ))
     findings: list[Finding] = []
+    #: Suppression tokens that waived at least one finding, per rel path —
+    #: the complement feeds the CDE014 unused-suppression audit.
+    used_keys: dict[str, set[SuppressionKey]] = {}
     for entry in entries:
         cached = (cache.lookup_findings(entry.rel, entry.sha, env_key)
                   if cache else None)
         if cached is not None:
-            findings.extend(cached)
+            cached_findings, cached_used = cached
+            findings.extend(cached_findings)
+            used_keys.setdefault(entry.rel, set()).update(cached_used)
             continue
         if entry.module is None:
             # Summary was warm but the findings environment changed.
@@ -175,14 +199,21 @@ def run_lint(paths: Sequence[Path | str],
                 continue
             parsed.add(entry.rel)
             ctx.modules.append(entry.module)
-        fresh = [
-            finding
-            for rule in rules
-            for finding in rule.check_module(entry.module, ctx)
-            if not entry.module.is_suppressed(finding.rule_id, finding.line)
-        ]
+        fresh: list[Finding] = []
+        entry_used = used_keys.setdefault(entry.rel, set())
+        for rule in rules:
+            for finding in rule.check_module(entry.module, ctx):
+                hits = suppression_hits(
+                    entry.module.line_suppressions,
+                    entry.module.file_suppressions,
+                    finding.rule_id, finding.line)
+                if hits:
+                    entry_used.update(hits)
+                else:
+                    fresh.append(finding)
         if cache:
-            cache.store_findings(entry.rel, entry.sha, env_key, fresh)
+            cache.store_findings(entry.rel, entry.sha, env_key, fresh,
+                                 sorted(entry_used))
         findings.extend(fresh)
 
     # Stage 3: project rules over summaries, with incremental effect
@@ -198,17 +229,87 @@ def run_lint(paths: Sequence[Path | str],
     for rule in rules:
         for finding in rule.check_project(ctx):
             summary = summaries.get(finding.path)
-            if summary is not None and summary.is_suppressed(
-                    finding.rule_id, finding.line):
-                continue
+            if summary is not None:
+                hits = suppression_hits(
+                    summary.line_suppressions, summary.file_suppressions,
+                    finding.rule_id, finding.line)
+                if hits:
+                    used_keys.setdefault(finding.path, set()).update(hits)
+                    continue
             findings.append(finding)
 
     if cache and fingerprint is not None:
         cache.store_signatures(fingerprint, ctx.effects.to_json())
         cache.save()
 
+    if audit_unused:
+        findings.extend(_audit_suppressions(entries, used_keys, rules_run))
+
     report.findings = sorted(set(findings))
     report.reanalyzed_files = tuple(sorted(parsed))
     report.effects_recomputed = (tuple(ctx._effects.recomputed)
                                  if ctx._effects is not None else ())
+
+    if changed_only is not None:
+        _apply_changed_scope(report, ctx, frozenset(changed_only))
     return report
+
+
+def _audit_suppressions(entries: list[_FileEntry],
+                        used_keys: dict[str, set[SuppressionKey]],
+                        rules_run: list[str]) -> list[Finding]:
+    """CDE014: suppression tokens that waived nothing this run.
+
+    Only tokens naming a rule that actually ran are audited (plus
+    ``all``, which every rule can hit) — a ``--select CDE001`` run must
+    not condemn a CDE007 waiver it never exercised.
+    """
+    audited = {rule_id for rule_id in rules_run
+               if rule_id != UNUSED_SUPPRESSION_RULE}
+    out: list[Finding] = []
+    for entry in entries:
+        summary = entry.summary
+        used = used_keys.get(entry.rel, set())
+
+        def _unused(kind: str, line: int, token: str,
+                    at_line: int) -> Optional[Finding]:
+            if token != SUPPRESS_ALL and token not in audited:
+                return None
+            if (kind, line, token) in used:
+                return None
+            if summary.is_suppressed(UNUSED_SUPPRESSION_RULE, at_line):
+                return None
+            scope = "line" if kind == "line" else "file-wide"
+            return Finding(
+                path=entry.rel, line=at_line, col=0,
+                rule_id=UNUSED_SUPPRESSION_RULE,
+                message=(f"unused {scope} suppression of {token}: no "
+                         f"{token} finding was waived here this run"),
+            )
+        for line, tokens in sorted(summary.line_suppressions.items()):
+            for token in sorted(tokens):
+                finding = _unused("line", line, token, line)
+                if finding is not None:
+                    out.append(finding)
+        for token in sorted(summary.file_suppressions):
+            finding = _unused("file", 0, token, 1)
+            if finding is not None:
+                out.append(finding)
+    return out
+
+
+def _apply_changed_scope(report: LintReport, ctx: ProjectContext,
+                         changed: frozenset[str]) -> None:
+    """Restrict ``report.findings`` to the dirty subgraph of ``changed``.
+
+    The scope is the changed files themselves plus every file containing
+    a function that transitively *calls into* a changed file — exactly
+    the files whose project-rule findings a local edit can flip.  The
+    analysis already ran tree-wide, so this is pure report filtering.
+    """
+    graph = ctx.graph
+    seeds = [key for key, node in graph.nodes.items() if node.rel in changed]
+    scope = set(changed)
+    scope.update(graph.nodes[key].rel for key in graph.reverse_reachable(seeds))
+    report.changed_scope = tuple(sorted(scope))
+    report.findings = [f for f in report.findings if f.path in scope]

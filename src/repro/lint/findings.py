@@ -58,6 +58,10 @@ class LintReport:
     reanalyzed_files: tuple[str, ...] = ()
     #: Call-graph node keys whose effect signatures were re-propagated.
     effects_recomputed: tuple[str, ...] = ()
+    #: When --changed mode filtered the report: the rel paths kept (the
+    #: dirty files plus their dirty-subgraph dependents).  Diagnostic,
+    #: not part of to_json() for the same reason as reanalyzed_files.
+    changed_scope: tuple[str, ...] | None = None
 
     @property
     def ok(self) -> bool:

@@ -22,6 +22,33 @@ from pathlib import Path
 
 SUPPRESS_ALL = "all"
 
+#: One suppression comment token that matched a finding:
+#: ``("line", line, token)`` or ``("file", 0, token)``.
+SuppressionKey = tuple[str, int, str]
+
+
+def suppression_hits(
+    line_rules: "dict[int, frozenset[str]] | dict[int, tuple[str, ...]]",
+    file_rules: "frozenset[str] | tuple[str, ...]",
+    rule_id: str,
+    line: int,
+) -> list[SuppressionKey]:
+    """Which suppression tokens waive ``rule_id`` at ``line``.
+
+    Works on both :class:`ModuleInfo` (frozenset values) and
+    :class:`~repro.lint.callgraph.ModuleSummary` (tuple values).  The
+    returned keys feed the CDE014 unused-suppression audit: a token that
+    never appears in any run's hits is a stale waiver.
+    """
+    hits: list[SuppressionKey] = []
+    for token in sorted(line_rules.get(line, ())):
+        if token == rule_id or token == SUPPRESS_ALL:
+            hits.append(("line", line, token))
+    for token in sorted(file_rules):
+        if token == rule_id or token == SUPPRESS_ALL:
+            hits.append(("file", 0, token))
+    return hits
+
 _SUPPRESS_RE = re.compile(
     r"#\s*cdelint:\s*(?P<kind>disable|disable-file)\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_,\s]+)"

@@ -82,6 +82,9 @@ class Rule:
     rule_id: str = ""
     name: str = ""
     summary: str = ""
+    #: Rules with ``default_enabled = False`` (audit modes like CDE014)
+    #: run only when explicitly selected, never in a default run.
+    default_enabled: bool = True
 
     def check_module(
         self, module: ModuleInfo, ctx: ProjectContext
@@ -142,4 +145,5 @@ def instantiate(selected: Iterable[str] | None = None,
             raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
         return [registry[rule_id]() for rule_id in wanted]
     skip = {rule_id.upper() for rule_id in disabled}
-    return [cls() for rule_id, cls in registry.items() if rule_id not in skip]
+    return [cls() for rule_id, cls in registry.items()
+            if rule_id not in skip and cls.default_enabled]

@@ -6,7 +6,9 @@ determinism invariant it protects (full rationale: docs/STATIC_ANALYSIS.md).
 """
 
 from . import (  # noqa: F401
+    capture_safety,
     effects_contract,
+    error_provenance,
     iteration,
     layering,
     mutable_defaults,
@@ -14,7 +16,10 @@ from . import (  # noqa: F401
     randomness,
     rng_streams,
     shard_purity,
+    timing_taint,
+    unused_suppression,
     wallclock,
+    world_provenance,
 )
 
 # NB: no ``from __future__ import annotations`` here — the future import

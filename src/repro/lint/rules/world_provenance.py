@@ -1,0 +1,78 @@
+"""CDE011: world-scoped state must not leak into shard merge paths.
+
+The sharded engine's correctness theorem (PR 1) is that merging rows in
+spec order is equivalent to a single sequential run.  That holds because
+the merge layer handles *rows* — plain data — never the live state of
+any one seeded world.  A merge-path function that touches a world's RNG
+streams, its ``QueryLog`` or the world object itself could mix one
+world's provenance into another shard's results.
+
+The check is scope-based: the *merge scope* is everything reachable from
+the configured ``merge-entries`` minus everything reachable from the
+CDE004 ``shard-entries`` (the shard worker legitimately owns its world).
+Any world-source site (``SimulatedInternet(...)``, ``*.stream(...)``,
+``.rng_factory`` / ``.query_log`` reads, ``fallback_rng``) inside the
+merge scope is a finding, with the witness chain from the merge entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+from ..taint import WORLD_SOURCES, matches_any
+
+
+@register
+class WorldProvenanceRule(Rule):
+    """Merge paths handle rows, not worlds.
+
+    **Rationale.**  One world's RNG stream or query log is seeded,
+    per-shard state.  The merge layer combines rows from *many* worlds;
+    if it draws from a stream or reads a log, one shard's state
+    perturbs another's merged output — and the result is still a
+    plausible number, so only provenance analysis catches it.
+
+    **Example (bad).** ::
+
+        def merge_rows(world, shards):
+            jitter = world.rng_factory.stream("merge")  # world state!
+            ...
+
+    **Fix guidance.**  Move the world-touching code into the shard
+    worker (inside ``run_shard``'s call graph) and pass its *result*
+    through the shard rows, or derive what you need from the
+    ``ShardTask`` seed instead of a live world.  Entry points are
+    configured as ``[tool.cdelint] merge-entries`` / ``shard-entries``.
+    """
+
+    rule_id = "CDE011"
+    name = "world-provenance"
+    summary = ("shard merge paths must not touch any world's RNG stream, "
+               "QueryLog or the world object itself")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = ctx.graph
+        merge_keys = [key for spec in ctx.config.merge_entries
+                      for key in graph.resolve_entry(spec)]
+        shard_keys = [key for spec in ctx.config.shard_entries
+                      for key in graph.resolve_entry(spec)]
+        merge_chains = graph.reachable_with_chains(merge_keys)
+        shard_scope = set(graph.reachable_with_chains(shard_keys))
+        for key in sorted(merge_chains):
+            if key in shard_scope:
+                continue
+            node = graph.nodes[key]
+            chain = " -> ".join(merge_chains[key])
+            for site in node.summary.sites:
+                if not matches_any(site.key, WORLD_SOURCES):
+                    continue
+                yield self.finding_at(
+                    node.rel, site.line, site.col,
+                    f"world-scoped state ({site.key}) touched in the shard "
+                    f"merge scope (reached via {chain}) — merge paths "
+                    f"combine rows from many worlds and must not read any "
+                    f"single world's RNG/QueryLog state",
+                    symbol=node.qualname,
+                )

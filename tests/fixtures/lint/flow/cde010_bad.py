@@ -1,0 +1,18 @@
+"""CDE010 bad: raw RTTs reach the count estimate unclassified."""
+
+
+def collect_rtts(results):
+    samples = []
+    for result in results:
+        samples.append(result.rtt)
+    return samples
+
+
+def estimate_direct(results):
+    worst = max(result.dns_rtt for result in results)
+    return CacheCountEstimate(worst)
+
+
+def estimate_cross(results):
+    samples = collect_rtts(results)
+    return estimate_from_occupancy(min(samples))

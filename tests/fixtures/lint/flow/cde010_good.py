@@ -1,0 +1,17 @@
+"""CDE010 good: RTTs cross the hit/miss classifier before any count."""
+
+
+def split_bimodal(samples):
+    ordered = sorted(samples)
+    threshold = ordered[len(ordered) // 2]
+    slow = 0
+    for value in ordered:
+        if value > threshold:
+            slow = slow + 1
+    return slow
+
+
+def estimate(results):
+    samples = [result.rtt for result in results]
+    slow_count = split_bimodal(samples)
+    return CacheCountEstimate(slow_count)

@@ -1,0 +1,22 @@
+"""CDE011 bad: the merge path draws from one world's RNG stream."""
+
+
+def run_shard(task: object) -> list[object]:
+    """Worker: legitimately owns its world (never flagged)."""
+    world = SimulatedInternet(task)
+    return [str(world.query_log)]
+
+
+def run_parallel_measurement(world: object,
+                             specs: list[object]) -> list[object]:
+    """Merge entry: collects rows, then mixes in world state (bad)."""
+    rows: list[object] = []
+    for spec in specs:
+        rows.extend(run_shard(spec))
+    return merge_rows(world, rows)
+
+
+def merge_rows(world: object, rows: list[object]) -> list[object]:
+    """Touches the world's RNG factory on the merge path."""
+    jitter = world.rng_factory.stream("cde011/merge")
+    return rows + [jitter]

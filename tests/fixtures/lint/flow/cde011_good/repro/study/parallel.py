@@ -1,0 +1,16 @@
+"""CDE011 good: world state stays inside the shard worker."""
+
+
+def run_shard(task: object) -> list[object]:
+    """Worker owns its world and exports plain rows."""
+    world = SimulatedInternet(task)
+    stream = world.rng_factory.stream("cde011/probe")
+    return [str(stream), str(world.query_log)]
+
+
+def run_parallel_measurement(specs: list[object]) -> list[object]:
+    """Merge entry combines plain rows only."""
+    rows: list[object] = []
+    for spec in specs:
+        rows.extend(run_shard(spec))
+    return sorted(rows)

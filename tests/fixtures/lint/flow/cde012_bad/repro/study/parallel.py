@@ -1,0 +1,20 @@
+"""CDE012 bad: shard worker shares a module table; spec carries a stream."""
+
+_SEEN: dict[str, int] = {}
+
+
+def remember(name: str) -> int:
+    """Mutates the shared module-level table (cross-shard state)."""
+    _SEEN[name] = _SEEN.get(name, 0) + 1
+    return _SEEN[name]
+
+
+def run_shard(task: object) -> list[int]:
+    """Worker reaches the shared table through remember()."""
+    return [remember(str(task))]
+
+
+def build_specs(world: object, seeds: list[int]) -> list[object]:
+    """Puts a live memoised RNG stream inside a pickled spec."""
+    stream = world.rng_factory.stream("cde012/specs")
+    return [ShardTask(seed, stream) for seed in seeds]

@@ -1,0 +1,15 @@
+"""CDE012 good: shard state is task-local; specs carry plain values."""
+
+_LIMITS: tuple[int, ...] = (1, 2, 4)
+
+
+def run_shard(task: object) -> list[int]:
+    """Worker derives everything from its task and locals."""
+    seen: dict[str, int] = {}
+    seen[str(task)] = _LIMITS[0]
+    return [seen[str(task)]]
+
+
+def build_specs(seeds: list[int]) -> list[object]:
+    """Specs carry only plain seeds."""
+    return [ShardTask(seed) for seed in seeds]

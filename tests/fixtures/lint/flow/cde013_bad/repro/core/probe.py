@@ -1,0 +1,21 @@
+"""CDE013 bad: probe handlers swallow failure history."""
+
+
+def census(prober: object, names: list[str]) -> int:
+    """Counts responses; timeouts silently vanish from the tally."""
+    responded = 0
+    for name in names:
+        try:
+            prober.query(name)
+        except QueryTimeout:
+            continue
+        responded = responded + 1
+    return responded
+
+
+def measure(prober: object, name: str) -> object:
+    """Catches ProbeFailure but drops the AttemptRecord history."""
+    try:
+        return prober.query(name)
+    except ProbeFailure:
+        return None

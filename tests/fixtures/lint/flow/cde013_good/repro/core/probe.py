@@ -1,0 +1,27 @@
+"""CDE013 good: probe handlers keep or re-raise the failure history."""
+
+
+def measure(prober: object, name: str, tally: object) -> object:
+    """Records the failure's attempt history before giving up."""
+    try:
+        return prober.query(name)
+    except ProbeFailure as failure:
+        tally.record(failure.attempt_count)
+        return None
+
+
+def query_once(prober: object, name: str) -> object:
+    """Annotates and re-raises: a caller still sees the history."""
+    try:
+        return prober.query(name)
+    except ProbeFailure as failure:
+        note_failure(failure)
+        raise
+
+
+def parse_row(raw: str) -> object:
+    """A non-probe exception may be swallowed: not failure history."""
+    try:
+        return int(raw)
+    except ValueError:
+        return None

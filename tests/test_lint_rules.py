@@ -29,11 +29,16 @@ from repro.lint import Finding, JSON_SCHEMA_VERSION, LintConfig, all_rules, \
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
 
+#: The default-enabled rule set (what a plain run reports as rules_run).
 ALL_RULES = ("CDE001", "CDE002", "CDE003", "CDE004", "CDE005", "CDE006",
-             "CDE007", "CDE008", "CDE009")
+             "CDE007", "CDE008", "CDE009", "CDE010", "CDE011", "CDE012",
+             "CDE013")
+#: Everything registered, including the opt-in CDE014 audit.
+REGISTERED_RULES = ALL_RULES + ("CDE014",)
 
-#: (rule, bad fixture, good fixture) — CDE004/CDE007/CDE008 fixtures are
-#: whole trees because their entry points / packages resolve by path.
+#: (rule, bad fixture, good fixture) — CDE004/CDE007/CDE008 and the
+#: CDE011–CDE013 dataflow fixtures are whole trees because their entry
+#: points / packages / scopes resolve by path.
 RULE_FIXTURES = [
     ("CDE001", "cde001_bad.py", "cde001_good.py"),
     ("CDE002", "cde002_bad.py", "cde002_good.py"),
@@ -44,12 +49,17 @@ RULE_FIXTURES = [
     ("CDE007", "cde007_bad", "cde007_good"),
     ("CDE008", "cde008_bad", "cde008_good"),
     ("CDE009", "cde009_bad.py", "cde009_good.py"),
+    ("CDE010", "flow/cde010_bad.py", "flow/cde010_good.py"),
+    ("CDE011", "flow/cde011_bad", "flow/cde011_good"),
+    ("CDE012", "flow/cde012_bad", "flow/cde012_good"),
+    ("CDE013", "flow/cde013_bad", "flow/cde013_good"),
 ]
 
 #: Findings each bad fixture must produce (a floor, not an exact count).
 EXPECTED_MIN_FINDINGS = {
     "CDE001": 4, "CDE002": 4, "CDE003": 5, "CDE004": 2, "CDE005": 3,
-    "CDE006": 3, "CDE007": 3, "CDE008": 2, "CDE009": 2,
+    "CDE006": 3, "CDE007": 3, "CDE008": 2, "CDE009": 2, "CDE010": 2,
+    "CDE011": 2, "CDE012": 2, "CDE013": 2,
 }
 
 
@@ -255,9 +265,9 @@ def test_parse_error_reported_and_nonzero(tmp_path):
 def test_list_rules_covers_the_documented_set():
     result = run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ALL_RULES:
+    for rule_id in REGISTERED_RULES:
         assert rule_id in result.stdout
-    assert set(all_rules()) == set(ALL_RULES)
+    assert set(all_rules()) == set(REGISTERED_RULES)
 
 
 # ---------------------------------------------------------------------------
