@@ -68,6 +68,11 @@ class DnsCache:
         self.rng = rng or fallback_rng("cache.DnsCache")
         self.stats = CacheStats()
         self._entries: dict[tuple[DnsName, RRType], CacheEntry] = {}
+        #: Lower bound on the earliest ``expires_at`` among live entries.
+        #: While ``now`` stays below it no entry can be expired, so inserts
+        #: skip the O(n) purge scan.  Removals only raise the true minimum,
+        #: so the bound stays valid without maintenance.
+        self._next_expiry = float("inf")
 
     # -- TTL handling -----------------------------------------------------
 
@@ -171,13 +176,16 @@ class DnsCache:
         return self.clamp_ttl(min(ttl, self.negative_ttl_cap))
 
     def _insert(self, entry: CacheEntry, now: float) -> None:
-        self._purge_expired(now)
+        if now >= self._next_expiry:
+            self._purge_expired(now)
         if entry.key not in self._entries and len(self._entries) >= self.capacity:
             victim = self.policy.choose_victim(self._entries.values(), self.rng)
             if victim is not None:
                 del self._entries[victim]
                 self.stats.evictions += 1
         self._entries[entry.key] = entry
+        if entry.expires_at < self._next_expiry:
+            self._next_expiry = entry.expires_at
         self.stats.insertions += 1
 
     # -- maintenance -----------------------------------------------------------
@@ -187,9 +195,13 @@ class DnsCache:
         for key in expired:
             del self._entries[key]
         self.stats.expirations += len(expired)
+        self._next_expiry = min(
+            (entry.expires_at for entry in self._entries.values()),
+            default=float("inf"))
 
     def flush(self) -> None:
         self._entries.clear()
+        self._next_expiry = float("inf")
 
     def remove(self, name: DnsName, rtype: RRType) -> None:
         self._entries.pop((name, rtype), None)

@@ -26,7 +26,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from ..dns.name import DnsName, name as make_name
+from ..dns.name import (MAX_LABEL_LENGTH, MAX_NAME_LENGTH, DnsName,
+                        name as make_name)
 from ..dns.record import a_record, aaaa_record, cname_record, ns_record, soa_record
 from ..dns.zone import WILDCARD_LABEL, Zone
 from ..dns.rrtype import RRType
@@ -78,6 +79,10 @@ class CdeInfrastructure:
         self._sub_ns_ip_base = sub_ns_ip_base
         self._profile = profile
         self._name_counter = itertools.count(1)
+        # Label headroom under the base domain (lazily computed); lets
+        # unique_name() take DnsName's trusted constructor for generated
+        # labels instead of re-validating each one.
+        self._label_budget: Optional[int] = None
         self._chain_counter = itertools.count(1)
         self._sub_counter = itertools.count(1)
         self._sub_ip_counter = itertools.count(150)
@@ -119,7 +124,28 @@ class CdeInfrastructure:
 
     def unique_name(self, prefix: str = "p") -> DnsName:
         """A fresh, never-before-used name under the base domain."""
-        return self.base_domain.prepend(f"{prefix}-{next(self._name_counter)}")
+        label = f"{prefix}-{next(self._name_counter)}"
+        # Generated labels are valid by construction when the prefix is
+        # dot-free; only the length bounds depend on the counter, so the
+        # trusted constructor applies (same object prepend() would build).
+        budget = self._label_budget
+        if budget is None:
+            base_labels = self.base_domain.labels
+            budget = min(
+                MAX_LABEL_LENGTH,
+                MAX_NAME_LENGTH
+                - sum(len(lab) for lab in base_labels) - len(base_labels),
+            )
+            self._label_budget = budget
+        if len(label) <= budget and "." not in prefix:
+            base = self.base_domain
+            if label.islower():
+                # Already case-folded → hand the folded tuple over too, so
+                # the name's first hash doesn't lazily re-fold it.
+                return DnsName._trusted((label,) + base.labels,
+                                        (label,) + base.folded)
+            return DnsName._trusted((label,) + base.labels)
+        return self.base_domain.prepend(label)
 
     def unique_names(self, count: int, prefix: str = "p") -> list[DnsName]:
         return [self.unique_name(prefix) for _ in range(count)]

@@ -20,7 +20,7 @@ Nothing in this module reads a query log.
 
 from __future__ import annotations
 
-import statistics
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -56,18 +56,31 @@ class LatencyClassifier:
         """
         if not hit_samples or not miss_samples:
             raise ValueError("need samples from both populations")
-        hit_high = _quantile(hit_samples, 0.95)
-        miss_low = _quantile(miss_samples, 0.05)
+        # Sort each population once; quantiles and medians index into the
+        # same ordered array instead of re-sorting per statistic.
+        ordered_hits = sorted(hit_samples)
+        ordered_misses = sorted(miss_samples)
+        hit_high = _quantile_sorted(ordered_hits, 0.95)
+        miss_low = _quantile_sorted(ordered_misses, 0.05)
         if hit_high < miss_low:
             threshold = (hit_high + miss_low) / 2.0
         else:
-            threshold = (statistics.median(hit_samples) +
-                         statistics.median(miss_samples)) / 2.0
+            threshold = (_median_sorted(ordered_hits) +
+                         _median_sorted(ordered_misses)) / 2.0
         return cls(threshold=threshold, hit_samples=list(hit_samples),
                    miss_samples=list(miss_samples))
 
     def is_miss(self, rtt: float) -> bool:
         return rtt > self.threshold
+
+    def count_misses(self, rtts: list[float]) -> int:
+        """Batch classification: how many of ``rtts`` are miss-latency.
+
+        One sort plus a bisection replaces a per-sample comparison loop;
+        the result equals ``sum(self.is_miss(r) for r in rtts)`` exactly.
+        """
+        ordered = sorted(rtts)
+        return len(ordered) - bisect_right(ordered, self.threshold)
 
     @property
     def separation(self) -> float:
@@ -75,21 +88,40 @@ class LatencyClassifier:
 
         Values above ~2 mean the channel is reliable; near 0 it is noise.
         """
-        hit_med = statistics.median(self.hit_samples)
-        miss_med = statistics.median(self.miss_samples)
-        spread = (_mad(self.hit_samples) + _mad(self.miss_samples)) or 1e-9
+        ordered_hits = sorted(self.hit_samples)
+        ordered_misses = sorted(self.miss_samples)
+        hit_med = _median_sorted(ordered_hits)
+        miss_med = _median_sorted(ordered_misses)
+        spread = (_mad_sorted(ordered_hits, hit_med) +
+                  _mad_sorted(ordered_misses, miss_med)) or 1e-9
         return (miss_med - hit_med) / spread
 
 
-def _quantile(samples: list[float], q: float) -> float:
-    ordered = sorted(samples)
+def _quantile_sorted(ordered: list[float], q: float) -> float:
     index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
     return ordered[index]
 
 
+def _median_sorted(ordered: list[float]) -> float:
+    """Median of an already-sorted list (matches ``statistics.median``)."""
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    return _quantile_sorted(sorted(samples), q)
+
+
+def _mad_sorted(ordered: list[float], med: float) -> float:
+    return _median_sorted(sorted(abs(sample - med) for sample in ordered))
+
+
 def _mad(samples: list[float]) -> float:
-    med = statistics.median(samples)
-    return statistics.median(abs(sample - med) for sample in samples)
+    ordered = sorted(samples)
+    return _mad_sorted(ordered, _median_sorted(ordered))
 
 
 @dataclass
@@ -123,16 +155,13 @@ def split_bimodal(samples: list[float]) -> tuple[float, int]:
     """
     if len(samples) < 2:
         return (float("inf"), 0)
+    # Sort once, compute the whole gap array in one comprehension, then
+    # take the first maximal gap: ``list.index`` on ``max`` finds the same
+    # index the old ``gap > best_gap`` scan kept.
     ordered = sorted(samples)
-    best_gap = -1.0
-    threshold = float("inf")
-    slow_from = len(ordered)
-    for index in range(len(ordered) - 1):
-        gap = ordered[index + 1] - ordered[index]
-        if gap > best_gap:
-            best_gap = gap
-            threshold = (ordered[index] + ordered[index + 1]) / 2.0
-            slow_from = index + 1
+    gaps = [after - before for before, after in zip(ordered, ordered[1:])]
+    slow_from = gaps.index(max(gaps)) + 1
+    threshold = (ordered[slow_from - 1] + ordered[slow_from]) / 2.0
     return (threshold, len(ordered) - slow_from)
 
 
@@ -183,15 +212,14 @@ def enumerate_by_timing(cde: CdeInfrastructure, prober: DirectProber,
     classifier = calibration.classifier
 
     probe_name = cde.unique_name("timing-count")
-    delivered = 0
-    miss_count = 0
+    rtts: list[float] = []
     for _ in range(probes):
         result = prober.probe(ingress_ip, probe_name, qtype)
-        if not result.delivered or result.rtt is None:
-            continue
-        delivered += 1
-        if classifier.is_miss(result.rtt):
-            miss_count += 1
+        if result.delivered and result.rtt is not None:
+            rtts.append(result.rtt)
+    # Classify the whole batch in one call instead of per probe.
+    delivered = len(rtts)
+    miss_count = classifier.count_misses(rtts)
 
     estimate = CacheCountEstimate(
         estimate=(estimate_from_occupancy(max(delivered, 1), miss_count)

@@ -43,9 +43,14 @@ def maybe_truncate(query: DnsMessage, response: DnsMessage,
     """
     if query.via_tcp:
         return response
-    from .wire import message_wire_size
+    from .wire import message_size_upper_bound, message_wire_size
 
     limit = effective_payload_limit(query, responder_max)
+    # The uncompressed upper bound is a superset of the encoded size, so a
+    # bound that already fits proves the response fits without encoding it
+    # (the common case: minimal responses are far below 512 bytes).
+    if message_size_upper_bound(response) <= limit:
+        return response
     if message_wire_size(response) <= limit:
         return response
     truncated = query.make_response(response.rcode)

@@ -38,6 +38,69 @@ _POINTER_MASK = 0xC0
 _NAME_RDATA_TYPES = {RRType.NS, RRType.CNAME, RRType.PTR}
 
 
+class _NameWire:
+    """Precomputed per-name encoding state shared across messages.
+
+    ``raw`` is the full uncompressed wire form (length-prefixed labels plus
+    the terminal zero octet); ``suffixes[i]`` is the case-folded suffix
+    tuple starting at label ``i`` (the compressor's map key) and
+    ``starts[i]`` is that label's byte offset inside ``raw``.
+    """
+
+    __slots__ = ("raw", "suffixes", "starts")
+
+    def __init__(self, name: DnsName) -> None:
+        labels = name.labels
+        folded = name.folded
+        raw = bytearray()
+        suffixes = []
+        starts = []
+        for index, label in enumerate(labels):
+            suffixes.append(folded[index:])
+            starts.append(len(raw))
+            encoded = label.encode("ascii")
+            raw.append(len(encoded))
+            raw += encoded
+        raw.append(0)
+        self.raw = bytes(raw)
+        self.suffixes = tuple(suffixes)
+        self.starts = tuple(starts)
+
+
+#: Per-name encode cache, keyed by the exact (case-preserving) label tuple
+#: so distinct spellings of equal names never share raw bytes.  Bounded the
+#: same way as the ``DnsName`` intern table: cleared, not evicted, when full
+#: (the hot set — zone origins, infrastructure names — repopulates at once).
+_NAME_WIRE_CACHE_MAX = 8192
+_name_wire_cache: dict[tuple[str, ...], _NameWire] = {}
+
+#: Wire-codec fast-path counters, sampled by the perf layer
+#: (:func:`wire_cache_counters`).  Module-global so every encode in the
+#: process is counted, including ones inside worker shards.
+_wire_cache_hits = 0
+_wire_cache_misses = 0
+
+
+def wire_cache_counters() -> tuple[int, int]:
+    """Current (hits, misses) of the per-name encode cache."""
+    return (_wire_cache_hits, _wire_cache_misses)
+
+
+def _name_wire(name: DnsName) -> _NameWire:
+    global _wire_cache_hits, _wire_cache_misses
+    key = name.labels
+    entry = _name_wire_cache.get(key)
+    if entry is not None:
+        _wire_cache_hits += 1
+        return entry
+    _wire_cache_misses += 1
+    entry = _NameWire(name)
+    if len(_name_wire_cache) >= _NAME_WIRE_CACHE_MAX:
+        _name_wire_cache.clear()
+    _name_wire_cache[key] = entry
+    return entry
+
+
 class _Compressor:
     """Tracks name→offset mappings while encoding."""
 
@@ -45,19 +108,22 @@ class _Compressor:
         self._offsets: dict[tuple[str, ...], int] = {}
 
     def encode_name(self, name: DnsName, buffer: bytearray) -> None:
-        labels = name.labels
-        for index in range(len(labels)):
-            suffix = tuple(lab.lower() for lab in labels[index:])
-            known = self._offsets.get(suffix)
+        # Fast path over the per-name cache: identical byte output to the
+        # label-at-a-time loop, but the suffix tuples and label bytes are
+        # computed once per distinct name instead of once per occurrence.
+        wire = _name_wire(name)
+        offsets = self._offsets
+        base = len(buffer)
+        for index, suffix in enumerate(wire.suffixes):
+            known = offsets.get(suffix)
             if known is not None and known < 0x3FFF:
+                buffer += wire.raw[:wire.starts[index]]
                 buffer += struct.pack("!H", 0xC000 | known)
                 return
-            if len(buffer) < 0x3FFF:
-                self._offsets[suffix] = len(buffer)
-            label = labels[index].encode("ascii")
-            buffer.append(len(label))
-            buffer += label
-        buffer.append(0)
+            position = base + wire.starts[index]
+            if position < 0x3FFF:
+                offsets[suffix] = position
+        buffer += wire.raw
 
 
 def _encode_ipv4(address: str) -> bytes:
@@ -165,9 +231,32 @@ def _encode_opt(payload_size: int, buffer: bytearray) -> None:
     buffer += struct.pack("!HHIH", int(RRType.OPT), payload_size, 0, 0)
 
 
+#: Reusable encode buffer.  Encoding is synchronous and single-threaded in
+#: the simulator, but a reentrancy guard keeps nested encodes (e.g. from a
+#: debugger or a future re-entrant caller) correct by falling back to a
+#: fresh allocation.
+_scratch_buffer = bytearray()
+_scratch_in_use = False
+
+
 def encode_message(message: DnsMessage) -> bytes:
     """Encode to wire bytes."""
-    buffer = bytearray()
+    global _scratch_in_use
+    if _scratch_in_use:
+        buffer = bytearray()
+        _encode_into(message, buffer)
+        return bytes(buffer)
+    _scratch_in_use = True
+    try:
+        buffer = _scratch_buffer
+        del buffer[:]
+        _encode_into(message, buffer)
+        return bytes(buffer)
+    finally:
+        _scratch_in_use = False
+
+
+def _encode_into(message: DnsMessage, buffer: bytearray) -> None:
     flags = 0
     if message.is_response:
         flags |= 0x8000
@@ -207,12 +296,72 @@ def encode_message(message: DnsMessage) -> bytes:
         _encode_record(record, buffer, compressor)
     if message.edns_payload_size is not None:
         _encode_opt(message.edns_payload_size, buffer)
-    return bytes(buffer)
 
 
 def message_wire_size(message: DnsMessage) -> int:
     """Size in bytes of the encoded message (used by the latency model)."""
-    return len(encode_message(message))
+    global _scratch_in_use
+    if _scratch_in_use:
+        return len(encode_message(message))
+    _scratch_in_use = True
+    try:
+        buffer = _scratch_buffer
+        del buffer[:]
+        _encode_into(message, buffer)
+        return len(buffer)
+    finally:
+        _scratch_in_use = False
+
+
+def _name_size_bound(name: DnsName) -> int:
+    """Uncompressed wire size of a name: labels with length prefixes + 0."""
+    labels = name.labels
+    return sum(len(label) for label in labels) + len(labels) + 1
+
+
+def _rdata_size_bound(rdata: Rdata) -> int:
+    if isinstance(rdata, ARdata):
+        return 4
+    if isinstance(rdata, AaaaRdata):
+        return 16
+    if isinstance(rdata, NsRdata):
+        return _name_size_bound(rdata.nsdname)
+    if isinstance(rdata, (CnameRdata, PtrRdata)):
+        return _name_size_bound(rdata.target)
+    if isinstance(rdata, MxRdata):
+        return 2 + _name_size_bound(rdata.exchange)
+    if isinstance(rdata, TxtRdata):
+        # UTF-8 expands at most 4x over the character count.
+        return sum(4 * len(string) + 1 for string in rdata.strings)
+    if isinstance(rdata, SoaRdata):
+        return (_name_size_bound(rdata.mname) + _name_size_bound(rdata.rname)
+                + 20)
+    if isinstance(rdata, SrvRdata):
+        return 6 + _name_size_bound(rdata.target)
+    if isinstance(rdata, OpaqueRdata):
+        return 4 * len(rdata.text)
+    raise WireFormatError(f"cannot size rdata {rdata!r}")
+
+
+def message_size_upper_bound(message: DnsMessage) -> int:
+    """A cheap upper bound on :func:`message_wire_size`.
+
+    Sums uncompressed worst-case sizes without touching the encoder, so
+    callers that only need "does it fit?" (truncation checks) can skip the
+    full encode whenever the bound already fits.  Never smaller than the
+    encoded size: compression only shrinks names, and every per-rdata bound
+    is conservative.
+    """
+    size = 12  # header
+    if message.question is not None:
+        size += _name_size_bound(message.question.qname) + 4
+    for section in (message.answers, message.authority, message.additional):
+        for record in section:
+            size += _name_size_bound(record.name) + 10
+            size += _rdata_size_bound(record.rdata)
+    if message.edns_payload_size is not None:
+        size += 11  # root owner + OPT fixed fields
+    return size
 
 
 def exceeds_payload(message: DnsMessage) -> bool:

@@ -49,7 +49,21 @@ class LintConfig:
         "repro/study/", "repro/core/", "repro/server/",
     )
     #: ``path::function`` shard-worker entry points (CDE004).
-    shard_entries: tuple[str, ...] = ("repro/study/parallel.py::run_shard",)
+    #: ``run_shard`` reaches the engine through a lazy import (the engine
+    #: imports parallel for its task types), so the lane entry points are
+    #: listed explicitly.
+    shard_entries: tuple[str, ...] = (
+        "repro/study/parallel.py::run_shard",
+        "repro/study/engine.py::ShardLane.run_to_completion",
+        "repro/study/engine.py::PipelinedEngine.run",
+        "repro/study/measurement.py::measure_population",
+        # measure_population reaches these through the MEASURES dict (a
+        # variable call the graph cannot resolve), so the per-technique
+        # measurers are shard entry points in their own right.
+        "repro/study/measurement.py::measure_direct",
+        "repro/study/measurement.py::measure_via_smtp",
+        "repro/study/measurement.py::measure_via_browser",
+    )
     #: ``path::qualname`` roots whose call graphs must stay effect-free
     #: (CDE007): the shard worker plus the fault/retry decision paths.
     effect_roots: tuple[str, ...] = (
@@ -102,10 +116,13 @@ class LintConfig:
     #: flow into these (specs are pickled across process boundaries).
     shard_spec_types: tuple[str, ...] = ("ShardTask", "WorldConfig")
     #: Files whose module-level mutable globals are sanctioned for shard
-    #: use (CDE012) — deterministic value-interning memoisation, plus the
-    #: linter's own import-time rule registry (never on a shard path; it
-    #: only appears reachable through simple-name call binding).
+    #: use (CDE012) — deterministic value-interning memoisation (the name
+    #: intern table and the per-name wire-encode cache: entries depend
+    #: only on their keys, so cross-lane sharing cannot change output),
+    #: plus the linter's own import-time rule registry (never on a shard
+    #: path; it only appears reachable through simple-name call binding).
     shard_state_allow: tuple[str, ...] = ("repro/dns/name.py",
+                                          "repro/dns/wire.py",
                                           "repro/lint/")
     #: Probe-path scopes (CDE013): except handlers here must not swallow
     #: probe-failure history.

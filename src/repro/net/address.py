@@ -30,7 +30,8 @@ def ip_to_int(address: str) -> int:
 def int_to_ip(value: int) -> str:
     if not 0 <= value < 2 ** 32:
         raise ValueError(f"IPv4 integer out of range: {value}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return (f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}."
+            f"{(value >> 8) & 0xFF}.{value & 0xFF}")
 
 
 @dataclass(frozen=True)
@@ -93,7 +94,14 @@ class AddressPool:
         return address
 
     def allocate_block(self, count: int) -> list[str]:
-        return [self.allocate() for _ in range(count)]
+        start = self._next
+        if start + count > self.prefix.size:
+            raise RuntimeError(f"address pool {self.prefix} exhausted")
+        self._next = start + count
+        base = self.prefix.base + start
+        return [(f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}."
+                 f"{(v >> 8) & 0xFF}.{v & 0xFF}")
+                for v in range(base, base + count)]
 
     @property
     def remaining(self) -> int:

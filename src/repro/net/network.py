@@ -160,8 +160,19 @@ class Network:
 
     def register_many(self, ips: list[str], endpoint: Endpoint,
                       profile: Optional[LinkProfile] = None) -> None:
+        """Register several addresses of one endpoint.
+
+        The addresses share one (read-only) registration record — platform
+        construction registers tens of thousands of egress addresses, so
+        per-address records are measurable dead weight.
+        """
+        if not ips:
+            return
+        registration = _Registration(endpoint,
+                                     profile or LinkProfile.default())
+        endpoints = self._endpoints
         for ip in ips:
-            self.register(ip, endpoint, profile)
+            endpoints[ip] = registration
 
     def unregister(self, ip: str) -> None:
         self._endpoints.pop(ip, None)

@@ -34,6 +34,13 @@ class ShardPerf:
     wall_seconds: float
     queries_sent: int
     stats: NetworkStats = field(default_factory=NetworkStats)
+    #: Direct probes served by the engine's fused corridor vs the generic
+    #: object-per-message path (zero for shards run outside the engine).
+    fused_probes: int = 0
+    fallback_probes: int = 0
+    #: Wire-codec name-cache activity attributed to this shard.
+    wire_cache_hits: int = 0
+    wire_cache_misses: int = 0
 
     @property
     def queries_per_second(self) -> float:
@@ -52,6 +59,10 @@ class PerfCounters:
     workers: int = 0
     stats: NetworkStats = field(default_factory=NetworkStats)
     shards: list[ShardPerf] = field(default_factory=list)
+    fused_probes: int = 0
+    fallback_probes: int = 0
+    wire_cache_hits: int = 0
+    wire_cache_misses: int = 0
 
     # -- accumulation -----------------------------------------------------
 
@@ -68,6 +79,10 @@ class PerfCounters:
         self.shards.append(shard)
         self.queries_sent += shard.queries_sent
         self.platforms += shard.platforms
+        self.fused_probes += shard.fused_probes
+        self.fallback_probes += shard.fallback_probes
+        self.wire_cache_hits += shard.wire_cache_hits
+        self.wire_cache_misses += shard.wire_cache_misses
         self.merge_stats(shard.stats)
 
     # -- derived throughput ----------------------------------------------
@@ -98,6 +113,12 @@ class PerfCounters:
             "workers": self.workers,
             "queries_per_second": self.queries_per_second,
             "platforms_per_second": self.platforms_per_second,
+            "engine": {
+                "fused_probes": self.fused_probes,
+                "fallback_probes": self.fallback_probes,
+                "wire_cache_hits": self.wire_cache_hits,
+                "wire_cache_misses": self.wire_cache_misses,
+            },
             "network": {
                 "messages_sent": self.stats.messages_sent,
                 "messages_delivered": self.stats.messages_delivered,
@@ -114,6 +135,8 @@ class PerfCounters:
                     "wall_seconds": shard.wall_seconds,
                     "queries_sent": shard.queries_sent,
                     "queries_per_second": shard.queries_per_second,
+                    "fused_probes": shard.fused_probes,
+                    "fallback_probes": shard.fallback_probes,
                 }
                 for shard in self.shards
             ],

@@ -27,6 +27,7 @@ from typing import Optional
 from ..cache.cache import DnsCache
 from ..cache.entry import CacheEntry, EntryKind
 from ..cache.software import BIND9_LIKE, CacheSoftwareProfile
+from ..dns.edns import maybe_truncate
 from ..dns.errors import ResolutionError
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
@@ -148,11 +149,10 @@ class ResolutionPlatform:
 
     def attach(self, profile: Optional[LinkProfile] = None) -> None:
         """Register all ingress and egress IPs on the network."""
-        for ip in self.config.ingress_ips:
-            self.network.register(ip, self, profile)
-        for ip in self.config.egress_ips:
-            if ip not in self.config.ingress_ips:
-                self.network.register(ip, _EgressStub(), profile)
+        ingress = self.config.ingress_ips
+        self.network.register_many(list(ingress), self, profile)
+        egress = [ip for ip in self.config.egress_ips if ip not in ingress]
+        self.network.register_many(egress, _EgressStub(), profile)
 
     # -- ground truth (experiments only) ------------------------------------------
 
@@ -234,8 +234,6 @@ class ResolutionPlatform:
             response.add_answer(rrset)
         if self.config.frontend_dedup_window > 0:
             self._frontend_store(query, response)
-        from ..dns.edns import maybe_truncate
-
         return maybe_truncate(query, response, self.config.edns_payload_size)
 
     def _frontend_lookup(self, query: DnsMessage) -> Optional[DnsMessage]:

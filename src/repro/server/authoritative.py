@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..dns.edns import maybe_truncate
 from ..dns.message import DnsMessage
 from ..dns.name import DnsName
 from ..dns.record import ResourceRecord
@@ -86,8 +87,6 @@ class AuthoritativeServer:
             qtype=message.qtype,
             msg_id=message.msg_id,
         ))
-        from ..dns.edns import maybe_truncate
-
         response = self.respond(message)
         return maybe_truncate(message, response, self.edns_payload_size)
 

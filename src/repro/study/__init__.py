@@ -56,13 +56,16 @@ from .operators import (
     draw_operator,
     top_n_table,
 )
+from .engine import BATCH_PROBES, PipelinedEngine, ShardLane
 from .parallel import (
     DEFAULT_SHARDS,
+    MIN_PLATFORMS_PER_WORKER,
     ParallelMeasurement,
     ShardOutcome,
     ShardTask,
     measure_population_parallel,
     plan_shards,
+    resolve_workers,
     run_parallel_measurement,
     run_shard,
     shard_seed,
@@ -122,6 +125,8 @@ __all__ = [
     "measurement_to_dict", "measurements_to_dict", "median",
     "monitor_to_dict", "perf_to_dict", "plan_shards", "ratio_breakdown",
     "report_to_dict",
+    "BATCH_PROBES", "MIN_PLATFORMS_PER_WORKER", "PipelinedEngine",
+    "ShardLane", "resolve_workers",
     "run_ad_collection", "run_parallel_measurement", "run_shard",
     "run_smtp_collection", "scan_for_open_resolvers", "shard_seed",
     "snap_to_bin", "table1_to_dict", "to_json", "top_n_table",

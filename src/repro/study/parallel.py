@@ -13,9 +13,13 @@ in DESIGN.md §6:
 2. **Seed** — each shard gets its own independent world, built from a seed
    derived as ``derive_seed(base_seed, "shard/<index>")`` via
    :mod:`repro.net.rng` — the toolkit's one seed-derivation scheme.
-3. **Run** — shards execute concurrently on a
-   :class:`concurrent.futures.ProcessPoolExecutor` (``workers=0`` runs
-   them in-process, for debugging and as a dependency-free fallback).
+3. **Run** — shards run through the pipelined
+   :class:`~repro.study.engine.ShardLane` turn machinery: in-process on the
+   interleaving :class:`~repro.study.engine.PipelinedEngine`, or on a
+   :class:`concurrent.futures.ProcessPoolExecutor` when
+   :func:`resolve_workers` decides a pool actually pays for itself
+   (``workers="auto"`` sizes the pool from ``os.cpu_count()``; the handoff
+   ships compact pre-serialized spec tuples, never live worlds).
 4. **Merge** — per-platform rows return to the *original spec order*, so
    results are bit-identical regardless of worker count: the worker pool
    only changes scheduling, never what any shard computes.
@@ -28,21 +32,32 @@ benches.
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import astuple, dataclass, replace
+from typing import Optional, Union
 
-from ..net.perf import PerfCounters, ShardPerf, snapshot_stats, stats_delta
+from ..net.perf import PerfCounters
 from ..net.rng import derive_seed
-from .internet import SimulatedInternet, WorldConfig
-from .measurement import MeasurementBudget, PlatformMeasurement, measure_population
+from .internet import WorldConfig
+from .measurement import MeasurementBudget, PlatformMeasurement
 from .population import PlatformSpec
 
 #: Default shard count.  Fixed (not derived from the worker count!) so the
 #: same plan — and therefore the same measured rows — comes out whether the
 #: shards run on 0, 1 or 16 workers.
 DEFAULT_SHARDS = 8
+
+#: Fewest platforms one pool worker must be handed before the pool's fixed
+#: costs (process spawn, interpreter + package import, payload pickling)
+#: can pay for themselves.  Measured on the scaling bench: worker startup
+#: costs ~100 ms against ~1.5 ms of engine work per platform.
+MIN_PLATFORMS_PER_WORKER = 64
+
+#: ``workers=`` accepts an explicit count or ``"auto"``.
+WorkerSpec = Union[int, str]
 
 
 def shard_seed(base_seed: int, shard_index: int) -> int:
@@ -121,51 +136,107 @@ def plan_shards(specs: list[PlatformSpec], base_seed: int = 0,
 
 def run_shard(task: ShardTask) -> ShardOutcome:
     """Measure one shard in a fresh world (module-level: picklable)."""
-    started = time.perf_counter()
-    world = SimulatedInternet(task.config)
-    stats_before = snapshot_stats(world.network.stats)
-    rows = measure_population(world, list(task.specs), task.budget)
-    wall = time.perf_counter() - started
-    perf = ShardPerf(
-        shard_index=task.shard_index,
-        platforms=len(rows),
-        wall_seconds=wall,
-        # Methodology spend: direct probes plus the queries the indirect
-        # techniques pushed through SMTP servers and browsers.
-        queries_sent=world.prober.queries_sent + sum(
-            row.queries_used for row in rows if row.technique != "direct"),
-        stats=stats_delta(stats_before, world.network.stats),
-    )
-    return ShardOutcome(shard_index=task.shard_index,
-                        positions=task.positions, rows=rows, perf=perf)
+    from .engine import ShardLane     # lazy: the engine imports this module
+
+    return ShardLane(task).run_to_completion()
+
+
+def _encode_task(task: ShardTask) -> bytes:
+    """The compact pool handoff: one pickle of primitive tuples.
+
+    Specs, config and budget are flat dataclasses of primitives; shipping
+    their field tuples instead of the dataclass instances keeps the
+    payload a fraction of the naive pickle (no per-object class references
+    to resolve) and guarantees nothing heavier — a world, a network — can
+    ride along by accident.
+    """
+    return pickle.dumps(
+        (task.shard_index, task.seed, task.positions,
+         tuple(astuple(spec) for spec in task.specs),
+         astuple(task.config), astuple(task.budget)),
+        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _run_shard_payload(payload: bytes) -> ShardOutcome:
+    """Pool entry point: rebuild the :class:`ShardTask`, then run it."""
+    shard_index, seed, positions, spec_rows, config_row, budget_row = (
+        pickle.loads(payload))
+    return run_shard(ShardTask(
+        shard_index=shard_index,
+        seed=seed,
+        positions=tuple(positions),
+        specs=tuple(PlatformSpec(*row) for row in spec_rows),
+        config=WorldConfig(*config_row),
+        budget=MeasurementBudget(*budget_row),
+    ))
+
+
+def resolve_workers(workers: WorkerSpec, n_tasks: int, n_platforms: int,
+                    force_pool: bool = False) -> int:
+    """Actual pool size for a requested ``workers`` setting (0: in-process).
+
+    ``"auto"`` starts from ``os.cpu_count()``; explicit counts are taken
+    as upper bounds, never promises.  The heuristic sends work to a pool
+    only when it can win: at least two effective workers (capped by CPUs
+    and shard count) and at least :data:`MIN_PLATFORMS_PER_WORKER`
+    platforms of work per worker to amortize the measured startup +
+    handoff cost.  Everything else runs on the in-process pipelined
+    engine, which beats the old sequential shard loop at every size.
+    ``force_pool`` skips the heuristic (tests use it to exercise real
+    worker pools regardless of the machine).
+    """
+    if workers == "auto":
+        requested = os.cpu_count() or 1
+    elif isinstance(workers, int):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 or 'auto'")
+        requested = workers
+    else:
+        raise ValueError(f"workers must be an int or 'auto': {workers!r}")
+    if force_pool and requested > 0:
+        return max(1, min(requested, n_tasks))
+    effective = min(requested, os.cpu_count() or 1, n_tasks)
+    if effective < 2:
+        return 0
+    if n_platforms < effective * MIN_PLATFORMS_PER_WORKER:
+        effective = n_platforms // MIN_PLATFORMS_PER_WORKER
+        if effective < 2:
+            return 0
+    return effective
 
 
 def run_parallel_measurement(specs: list[PlatformSpec],
                              base_seed: int = 0,
-                             workers: int = 0,
+                             workers: WorkerSpec = 0,
                              n_shards: Optional[int] = None,
                              config: Optional[WorldConfig] = None,
-                             budget: Optional[MeasurementBudget] = None
+                             budget: Optional[MeasurementBudget] = None,
+                             force_pool: bool = False
                              ) -> ParallelMeasurement:
     """Measure a population across sharded worlds; merge in spec order.
 
-    ``workers=0`` executes the shard plan in-process (sequentially); any
-    positive count runs shards on that many worker processes.  Both paths
-    produce identical rows for a given ``(specs, base_seed, n_shards)``.
+    ``workers`` is an explicit process count or ``"auto"``;
+    :func:`resolve_workers` decides whether a real pool can beat the
+    in-process pipelined engine and sizes it.  Every setting produces
+    identical rows for a given ``(specs, base_seed, n_shards)`` — the
+    recorded ``perf.workers`` is the resolved pool size actually used.
     """
-    if workers < 0:
-        raise ValueError("workers must be >= 0")
     tasks = plan_shards(specs, base_seed=base_seed, n_shards=n_shards,
                         config=config, budget=budget)
+    pool_size = resolve_workers(workers, len(tasks), len(specs),
+                                force_pool=force_pool)
     started = time.perf_counter()
-    if workers == 0 or len(tasks) <= 1:
-        outcomes = [run_shard(task) for task in tasks]
+    if pool_size == 0 or len(tasks) <= 1:
+        from .engine import PipelinedEngine   # lazy: engine imports us
+
+        outcomes = PipelinedEngine(tasks).run()
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(run_shard, tasks))
+        payloads = [_encode_task(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            outcomes = list(pool.map(_run_shard_payload, payloads))
 
     merged: list[Optional[PlatformMeasurement]] = [None] * len(specs)
-    perf = PerfCounters(workers=workers)
+    perf = PerfCounters(workers=pool_size)
     for outcome in sorted(outcomes, key=lambda o: o.shard_index):
         for position, row in zip(outcome.positions, outcome.rows):
             merged[position] = row
@@ -184,7 +255,7 @@ def run_parallel_measurement(specs: list[PlatformSpec],
 
 def measure_population_parallel(specs: list[PlatformSpec],
                                 base_seed: int = 0,
-                                workers: int = 0,
+                                workers: WorkerSpec = 0,
                                 n_shards: Optional[int] = None,
                                 config: Optional[WorldConfig] = None,
                                 budget: Optional[MeasurementBudget] = None

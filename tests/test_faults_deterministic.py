@@ -145,6 +145,37 @@ class TestNoFaultsIsExactlyTheSeedPipeline:
             sorted(section["fault_exposure"])
 
 
+class TestWorkerMatrixByteIdentity:
+    """The pipelined engine's full determinism matrix.
+
+    Rows must be byte-identical at every worker count under every fault
+    profile; ``force_pool`` bypasses the :func:`resolve_workers`
+    heuristic so real process pools are exercised even on machines where
+    the heuristic would keep a run this small in-process.
+    """
+
+    MATRIX_PROFILES = ("none", "loss-default", "hostile-mix")
+
+    @pytest.mark.parametrize("profile", MATRIX_PROFILES)
+    def test_identical_rows_across_worker_counts(self, profile):
+        specs = _specs()
+        reference = None
+        for workers in (0, 1, 2, 4):
+            result = run_parallel_measurement(
+                specs, base_seed=SEED, workers=workers, n_shards=N_SHARDS,
+                config=_config(profile), budget=FAST_BUDGET,
+                force_pool=workers > 0)
+            # force_pool really ran a pool (capped by the shard count).
+            expected = min(workers, N_SHARDS) if workers else 0
+            assert result.perf.workers == expected
+            key = _row_key(result.rows)
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, (
+                    f"{profile}: workers={workers} diverged")
+
+
 class TestProfileRegistry:
     def test_every_profile_resolves(self):
         for name in FAULT_PROFILES:

@@ -285,7 +285,15 @@ def test_pyproject_config_roundtrip(tmp_path):
     assert config.ordered_paths == ("mypkg/results/",)
     assert config.disable == ("CDE006",)
     # Untouched knobs keep their defaults.
-    assert config.shard_entries == ("repro/study/parallel.py::run_shard",)
+    assert config.shard_entries == (
+        "repro/study/parallel.py::run_shard",
+        "repro/study/engine.py::ShardLane.run_to_completion",
+        "repro/study/engine.py::PipelinedEngine.run",
+        "repro/study/measurement.py::measure_population",
+        "repro/study/measurement.py::measure_direct",
+        "repro/study/measurement.py::measure_via_smtp",
+        "repro/study/measurement.py::measure_via_browser",
+    )
 
     with pytest.raises(ValueError):
         LintConfig.from_mapping({"no-such-knob": ["x"]})

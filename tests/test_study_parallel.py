@@ -14,16 +14,19 @@ import pytest
 
 from repro.study import (
     DEFAULT_SHARDS,
+    MIN_PLATFORMS_PER_WORKER,
     MeasurementBudget,
     POPULATIONS,
     WorldConfig,
     generate_population,
     measure_population_parallel,
     plan_shards,
+    resolve_workers,
     run_parallel_measurement,
     run_shard,
     shard_seed,
 )
+from repro.study.parallel import _encode_task, _run_shard_payload
 from repro.net.rng import derive_seed
 
 FAST_BUDGET = MeasurementBudget(confidence=0.9, max_enumeration_queries=96,
@@ -113,6 +116,67 @@ class TestMerging:
         with pytest.raises(ValueError):
             run_parallel_measurement(_specs("open-resolvers"),
                                      workers=-1, budget=FAST_BUDGET)
+
+
+class TestWorkerResolution:
+    """The pool-vs-inprocess heuristic behind ``workers="auto"``."""
+
+    def test_zero_workers_is_always_in_process(self):
+        assert resolve_workers(0, n_tasks=8, n_platforms=10_000) == 0
+
+    def test_auto_never_exceeds_cpu_count(self):
+        import os
+
+        resolved = resolve_workers("auto", n_tasks=8, n_platforms=10_000)
+        assert 0 <= resolved <= (os.cpu_count() or 1)
+
+    def test_small_populations_stay_in_process(self):
+        # Far below MIN_PLATFORMS_PER_WORKER per worker: the pool's fixed
+        # costs cannot amortize, so the engine runs in-process.
+        assert resolve_workers(4, n_tasks=8, n_platforms=9) == 0
+
+    def test_pool_capped_by_platforms_per_worker(self):
+        resolved = resolve_workers(
+            16, n_tasks=16, n_platforms=3 * MIN_PLATFORMS_PER_WORKER)
+        assert resolved <= 3
+
+    def test_pool_capped_by_task_count(self):
+        assert resolve_workers(16, n_tasks=2, n_platforms=10 ** 6) <= 2
+
+    def test_force_pool_bypasses_the_heuristic(self):
+        assert resolve_workers(2, n_tasks=8, n_platforms=4,
+                               force_pool=True) == 2
+
+    def test_rejects_negative_and_junk(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1, n_tasks=1, n_platforms=1)
+        with pytest.raises(ValueError):
+            resolve_workers("many", n_tasks=1, n_platforms=1)
+
+
+class TestCompactHandoff:
+    """The pool payload: pre-serialized primitive tuples, nothing heavier."""
+
+    def test_payload_round_trips_to_identical_rows(self):
+        specs = _specs("open-resolvers")
+        tasks = plan_shards(specs, base_seed=SEED, n_shards=N_SHARDS,
+                            budget=FAST_BUDGET)
+        for task in tasks:
+            direct = run_shard(task)
+            rebuilt = _run_shard_payload(_encode_task(task))
+            assert rebuilt.shard_index == direct.shard_index
+            assert rebuilt.positions == direct.positions
+            assert _row_key(rebuilt.rows) == _row_key(direct.rows)
+
+    def test_payload_is_compact(self):
+        import pickle
+
+        specs = _specs("open-resolvers")
+        task = plan_shards(specs, base_seed=SEED, n_shards=1,
+                           budget=FAST_BUDGET)[0]
+        naive = len(pickle.dumps(task))
+        compact = len(_encode_task(task))
+        assert compact < naive
 
 
 class TestShardPlan:

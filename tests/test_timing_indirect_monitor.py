@@ -1,13 +1,51 @@
 """Tests for the fully indirect timing census and the platform monitor."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     ChangeKind,
+    LatencyClassifier,
     PlatformMonitor,
     enumerate_by_timing_indirect,
     split_bimodal,
 )
+
+#: Latency-shaped floats: positive, finite, millisecond-to-second scale.
+latencies = st.floats(min_value=1e-4, max_value=10.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+def _split_bimodal_scalar(samples):
+    """The pre-vectorization reference: an explicit gap-scan loop."""
+    if len(samples) < 2:
+        return (float("inf"), 0)
+    ordered = sorted(samples)
+    best_gap = -1.0
+    slow_from = 1
+    for index in range(1, len(ordered)):
+        gap = ordered[index] - ordered[index - 1]
+        if gap > best_gap:
+            best_gap = gap
+            slow_from = index
+    threshold = (ordered[slow_from - 1] + ordered[slow_from]) / 2.0
+    return (threshold, len(ordered) - slow_from)
+
+
+class TestBatchedTimingMatchesScalar:
+    """The sort-once batched paths equal their scalar references exactly."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(latencies, max_size=64))
+    def test_split_bimodal_equals_scalar_gap_scan(self, samples):
+        assert split_bimodal(samples) == _split_bimodal_scalar(samples)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(latencies, min_size=1, max_size=64), latencies)
+    def test_count_misses_equals_per_sample_loop(self, rtts, threshold):
+        classifier = LatencyClassifier(threshold=threshold)
+        assert classifier.count_misses(rtts) == \
+            sum(classifier.is_miss(rtt) for rtt in rtts)
 
 
 class TestSplitBimodal:
