@@ -35,7 +35,9 @@ from .taint import MUTABLE_CONSTRUCTORS, matches_any
 #: Version 2 added the dataflow layer: per-function flow edges, taint
 #: sites, handler shapes, global read/mutation sets and parameter lists,
 #: plus per-module mutable-global indexes.
-SUMMARY_VERSION = 2
+#: Version 3 added the cdesync layer: per-function effect traces and
+#: replica-of bindings, plus per-module dataclass field orders.
+SUMMARY_VERSION = 3
 
 #: Pseudo-function key for statements at module / class-body level.
 MODULE_SCOPE = "<module>"
@@ -98,6 +100,9 @@ class FunctionSummary:
     global_reads: tuple[str, ...] = ()         # module mutable globals read
     global_mutations: tuple[str, ...] = ()     # ... and mutated
     params: tuple[str, ...] = ()               # parameter names ("*" marker)
+    # -- cdesync layer (summary version 3) ----------------------------------
+    trace_json: str = ""               # effect trace (repro.lint.trace), or ""
+    replica_of: str = ""               # ``# cdelint: replica-of=`` target
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -113,6 +118,8 @@ class FunctionSummary:
             "global_reads": list(self.global_reads),
             "global_mutations": list(self.global_mutations),
             "params": list(self.params),
+            "trace": self.trace_json,
+            "replica_of": self.replica_of,
         }
 
     @classmethod
@@ -138,6 +145,8 @@ class FunctionSummary:
             global_mutations=tuple(
                 str(n) for n in raw["global_mutations"]),  # type: ignore[union-attr]
             params=tuple(str(p) for p in raw["params"]),  # type: ignore[union-attr]
+            trace_json=str(raw.get("trace", "")),
+            replica_of=str(raw.get("replica_of", "")),
         )
 
 
@@ -153,6 +162,8 @@ class ModuleSummary:
     file_suppressions: tuple[str, ...] = ()
     #: module-level names bound to mutable containers (name -> def line)
     mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: ordered field names of @dataclass classes (cdesync / CDE016)
+    dataclass_fields: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         from .module import SUPPRESS_ALL
@@ -178,6 +189,10 @@ class ModuleSummary:
                 name: line
                 for name, line in sorted(self.mutable_globals.items())
             },
+            "dataclass_fields": {
+                name: list(fields)
+                for name, fields in sorted(self.dataclass_fields.items())
+            },
         }
 
     @classmethod
@@ -199,6 +214,11 @@ class ModuleSummary:
             mutable_globals={
                 str(name): int(line)  # type: ignore[call-overload]
                 for name, line in raw["mutable_globals"].items()  # type: ignore[union-attr]
+            },
+            dataclass_fields={
+                str(name): tuple(str(f) for f in fields)
+                for name, fields in raw.get(  # type: ignore[union-attr]
+                    "dataclass_fields", {}).items()
             },
         )
 
@@ -335,14 +355,22 @@ def _mutable_global_defs(tree: ast.Module,
 
 def summarize_module(module: ModuleInfo) -> ModuleSummary:
     """Build the project-rule summary of one parsed file."""
+    import json as _json
+
     from .astutil import annotation_is_set
+    from .trace import (extract_trace, has_effect_nodes,
+                        module_dataclass_fields, module_object_aliases,
+                        parse_replica_markers, replica_marker_for)
 
     aliases = import_aliases(module.tree)
     mutable_globals = _mutable_global_defs(module.tree, aliases)
     global_names = frozenset(mutable_globals)
+    objnew, objsetattr = module_object_aliases(module.tree)
+    markers = parse_replica_markers(module.source)
     functions: list[FunctionSummary] = []
     for func, qualname, _is_method in iter_function_defs(module.tree):
         flow = analyze_function(func, aliases)
+        trace = extract_trace(func, objnew, objsetattr)
         functions.append(FunctionSummary(
             qualname=qualname,
             name=func.name,
@@ -361,6 +389,9 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
             global_mutations=tuple(sorted(
                 flow.free_mutations & global_names)),
             params=flow.params,
+            trace_json=(_json.dumps(trace, separators=(",", ":"))
+                        if has_effect_nodes(trace) else ""),
+            replica_of=replica_marker_for(markers, func),
         ))
     functions.sort(key=lambda f: (f.line, f.col, f.qualname))
     return ModuleSummary(
@@ -375,6 +406,7 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
                            module.line_suppressions.items()},
         file_suppressions=tuple(sorted(module.file_suppressions)),
         mutable_globals=mutable_globals,
+        dataclass_fields=module_dataclass_fields(module.tree),
     )
 
 

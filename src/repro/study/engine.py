@@ -627,6 +627,7 @@ class _FastPlan:
                     if profile is not None], cold)
 
 
+# cdelint: replica-of=repro.net.network.Network._traverse
 def _leg_inline(plan: _FastPlan, src: _LegParams, dst: _LegParams
                 ) -> tuple[bool, float]:
     """``Network._traverse`` inlined for the gated link models.
@@ -669,6 +670,7 @@ def _leg_inline(plan: _FastPlan, src: _LegParams, dst: _LegParams
     return lost, latency
 
 
+# cdelint: replica-of=repro.net.network.Network._traverse
 def _leg_generic(plan: _FastPlan, src: _LegParams, dst: _LegParams
                  ) -> tuple[bool, float]:
     """The same traversal drawing through ``Random.gauss`` itself."""
@@ -687,6 +689,7 @@ _leg: Callable[[_FastPlan, _LegParams, _LegParams], tuple[bool, float]] = (
     _leg_inline if _INLINE_GAUSS else _leg_generic)
 
 
+# cdelint: replica-of=repro.core.prober.DirectProber.probe
 def _fused_probe(plan: _FastPlan, qname: DnsName, qtype: RRType) -> bool:
     """One direct probe through the fused corridor.
 
@@ -750,6 +753,7 @@ def _fused_probe(plan: _FastPlan, qname: DnsName, qtype: RRType) -> bool:
     return False
 
 
+# cdelint: replica-of=repro.core.prober.DirectProber.probe
 def _fused_probe_flat(plan: _FastPlan, qname: DnsName, qtype: RRType) -> bool:
     """:func:`_fused_probe` with the probe legs fully flattened.
 
@@ -852,6 +856,7 @@ def _fused_probe_flat(plan: _FastPlan, qname: DnsName, qtype: RRType) -> bool:
     return False
 
 
+# cdelint: replica-of=repro.resolver.platform.ResolutionPlatform.resolve_for_client
 def _fused_resolve_flat(plan: _FastPlan, qname: DnsName,
                         qtype: RRType) -> None:
     """:func:`_fused_resolve` with the warm corridor fully flattened.
@@ -1118,6 +1123,7 @@ def _fused_resolve_flat(plan: _FastPlan, qname: DnsName,
     ), ingested_at)
 
 
+# cdelint: replica-of=repro.resolver.platform.ResolutionPlatform.resolve_for_client
 def _fused_resolve(plan: _FastPlan, qname: DnsName, qtype: RRType) -> None:
     """``resolve_for_client`` minus response assembly (nobody reads it)."""
     platform = plan.platform
@@ -1185,6 +1191,7 @@ def _fused_resolve(plan: _FastPlan, qname: DnsName, qtype: RRType) -> None:
     _fused_resolve_chain(plan, cache, cache_index, qname, qtype)
 
 
+# cdelint: replica-of=repro.resolver.platform.ResolutionPlatform._answer_from
 def _fused_resolve_chain(plan: _FastPlan, cache: DnsCache, cache_index: int,
                          qname: DnsName, qtype: RRType) -> None:
     """The generic CNAME-chain walk of ``_answer_from`` (rare path)."""
@@ -1219,6 +1226,7 @@ def _fused_resolve_chain(plan: _FastPlan, cache: DnsCache, cache_index: int,
     return  # chain too long: SERVFAIL without a failures increment
 
 
+# cdelint: replica-of=repro.resolver.platform.ResolutionPlatform._resolve_upstream
 def _fused_upstream(plan: _FastPlan, cache: DnsCache, cache_index: int,
                     qname: DnsName, qtype: RRType) -> bool:
     """Fused ``_resolve_upstream`` for the single-authority CDE case.

@@ -106,6 +106,17 @@ def format_perf(perf: Optional[PerfCounters],
     ]
     if perf.shards:
         rows.append(("shard busy seconds", f"{perf.busy_seconds:.3f}"))
+    total_probes = perf.fused_probes + perf.fallback_probes
+    if total_probes or perf.shards:
+        # Fast-path health: a healthy pipelined run serves every direct
+        # probe through the fused corridor; fallback probes mean the
+        # replicas desynchronized from the structured path (see CDE015)
+        # and the run silently degraded to object-per-message speed.
+        rows.append(("fused probes", perf.fused_probes))
+        rows.append(("fallback probes", perf.fallback_probes))
+        ratio = (f"{100 * perf.fused_probes / total_probes:.1f}%"
+                 if total_probes else "n/a")
+        rows.append(("fast-path ratio", ratio))
     return format_table(["metric", "value"], rows, title=title)
 
 

@@ -1,0 +1,31 @@
+"""Fused fast paths that drift from their declared originals.
+
+``fused_resolve`` drops the miss-counter bump, ``fused_jitter`` reorders
+the two RNG draws, and ``fused_vanished`` binds to a method the original
+module no longer defines.
+"""
+
+
+# cdelint: replica-of=syncdemo.original.Resolver.resolve
+def fused_resolve(resolver, name):
+    resolver.stats.queries += 1
+    entry = resolver._entries.get(name)
+    if entry is not None:
+        resolver.stats.hits += 1
+        return entry
+    delay = resolver.rng.random()
+    resolver._entries[name] = delay
+    return delay
+
+
+# cdelint: replica-of=syncdemo.original.Resolver.jitter
+def fused_jitter(resolver):
+    spread = resolver.rng.gauss(0.0, 1.0)
+    base = resolver.rng.random()
+    return base + spread
+
+
+# cdelint: replica-of=syncdemo.original.Resolver.vanish
+def fused_vanished(resolver):
+    resolver.stats.queries += 1
+    return None

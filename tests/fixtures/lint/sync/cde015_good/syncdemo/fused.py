@@ -1,0 +1,21 @@
+"""Fused fast paths whose effect traces stay within their originals."""
+
+
+# cdelint: replica-of=syncdemo.original.Resolver.resolve
+def fused_resolve(resolver, name):
+    resolver.stats.queries += 1
+    entry = resolver._entries.get(name)
+    if entry is not None:
+        resolver.stats.hits += 1
+        return entry
+    resolver.stats.misses += 1
+    delay = resolver.rng.random()
+    resolver._entries[name] = delay
+    return delay
+
+
+# cdelint: replica-of=syncdemo.original.Resolver.jitter
+def fused_jitter(resolver):
+    base = resolver.rng.random()
+    spread = resolver.rng.gauss(0.0, 1.0)
+    return base + spread

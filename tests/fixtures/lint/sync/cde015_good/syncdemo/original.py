@@ -1,0 +1,31 @@
+"""Structured originals faithfully mirrored by fused.py."""
+
+
+class Stats:
+    def __init__(self):
+        self.queries = 0
+        self.hits = 0
+        self.misses = 0
+
+
+class Resolver:
+    def __init__(self, rng):
+        self.stats = Stats()
+        self.rng = rng
+        self._entries = {}
+
+    def resolve(self, name):
+        self.stats.queries += 1
+        entry = self._entries.get(name)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        delay = self.rng.random()
+        self._entries[name] = delay
+        return delay
+
+    def jitter(self):
+        base = self.rng.random()
+        spread = self.rng.gauss(0.0, 1.0)
+        return base + spread

@@ -1,0 +1,34 @@
+"""Fast-allocation sites whose __dict__ order matches the dataclass."""
+
+from dataclasses import dataclass
+
+_obj_new = object.__new__
+_obj_setattr = object.__setattr__
+
+
+@dataclass(frozen=True)
+class WireRecord:
+    name: str
+    rtype: int
+    ttl: float
+
+
+@dataclass
+class LogRow:
+    qname: str
+    shard: int
+    rcode: int
+
+
+def fast_record(name, rtype, ttl):
+    record = _obj_new(WireRecord)
+    _obj_setattr(record, "__dict__", {
+        "name": name, "rtype": rtype, "ttl": ttl,
+    })
+    return record
+
+
+def fast_row(qname, shard, rcode):
+    row = _obj_new(LogRow)
+    row.__dict__ = {"qname": qname, "shard": shard, "rcode": rcode}
+    return row
