@@ -1,0 +1,150 @@
+"""Census scale bench: bounded memory from 10k to 1M platforms.
+
+The streaming census pipeline's whole point is that memory does not grow
+with census size — every row flows generator → online aggregates → chunked
+NDJSON and is gone.  This bench drives :func:`repro.study.run_census` in
+``simulate`` mode (the real population generator, fold bundle, budget
+ledger and chunked export; no worlds, so a million rows finish in minutes)
+over an ascending sweep:
+
+* smoke (``REPRO_BENCH_SMOKE=1``): one 10k-platform leg; asserts the
+  Python-heap peak stays under a fixed budget.
+* full: 10k → 100k → 1M legs; asserts the 1M leg's heap peak is at most
+  **2x** the 100k leg's peak — a 10x census may not cost 10x memory, which
+  is exactly the sublinear-RSS acceptance gate of the streaming pipeline.
+
+Per-leg peaks come from ``tracemalloc`` (resettable between legs, so each
+leg gets its own peak; ``ru_maxrss`` is recorded alongside but is
+process-monotonic and only informational).  Every leg also re-checks the
+pipeline's books: the aggregate fold saw exactly ``count`` rows, the
+manifest is complete, and the export's row count matches.
+
+Results land in ``BENCH_census.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import resource
+import tempfile
+import time
+import tracemalloc
+
+from repro.study import read_census_manifest
+from repro.study.census import run_census
+
+from conftest import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Ascending sweep so each leg's tracemalloc peak is its own (the bigger
+#: legs would mask the smaller ones in the other order).
+LEG_SIZES = (10_000,) if SMOKE else (10_000, 100_000, 1_000_000)
+SEED = 0
+CHUNK_ROWS = 5_000
+#: Full-mode gate: the 1M leg's heap peak vs the 100k leg's.
+SUBLINEAR_FACTOR = 2.0
+#: Smoke-mode gate: absolute heap-peak budget for the 10k leg (MiB).  The
+#: pipeline holds one export chunk + the aggregate bundle, far below this;
+#: the headroom absorbs allocator/platform noise, not growth.
+SMOKE_PEAK_MIB = 96.0
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_census.json"
+
+
+def _ru_maxrss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _census_leg(count: int, out_root: str) -> dict:
+    out_dir = os.path.join(out_root, f"census-{count}")
+    tracemalloc.reset_peak()
+    started = time.perf_counter()
+    result = run_census(count=count, seed=SEED, simulate=True,
+                        out_dir=out_dir, chunk_size=CHUNK_ROWS)
+    wall = time.perf_counter() - started
+    _, heap_peak = tracemalloc.get_traced_memory()
+
+    # Books must balance at every scale.
+    aggregates = result.aggregates
+    assert aggregates.rows == count
+    assert aggregates.ledger.platforms == count
+    assert result.written_rows == count
+    manifest = read_census_manifest(out_dir)
+    assert manifest["complete"] and manifest["rows"] == count
+
+    leg = {
+        "platforms": count,
+        "wall_seconds": wall,
+        "rows_per_second": count / wall if wall else 0.0,
+        "heap_peak_mb": heap_peak / (1024.0 * 1024.0),
+        "ru_maxrss_mb": _ru_maxrss_mb(),
+        "chunks": manifest["rows"] // CHUNK_ROWS
+        + (1 if manifest["rows"] % CHUNK_ROWS else 0),
+        "budget_utilisation": aggregates.ledger.utilisation,
+    }
+    # The export is the leg's bulk disk product; drop it so three legs
+    # don't need 1M-row disk headroom at once.
+    for name in sorted(os.listdir(out_dir)):
+        os.unlink(os.path.join(out_dir, name))
+    os.rmdir(out_dir)
+    return leg
+
+
+def test_bench_census_scale(benchmark):
+    def sweep():
+        legs = []
+        tracemalloc.start()
+        try:
+            with tempfile.TemporaryDirectory(prefix="bench-census-") as root:
+                for count in LEG_SIZES:
+                    legs.append(_census_leg(count, root))
+        finally:
+            tracemalloc.stop()
+        return legs
+
+    legs = run_once(benchmark, sweep)
+    by_size = {leg["platforms"]: leg for leg in legs}
+
+    payload = {
+        "population": "open-resolvers",
+        "mode": "simulate",
+        "seed": SEED,
+        "smoke": SMOKE,
+        "chunk_rows": CHUNK_ROWS,
+        "cpu_count": os.cpu_count(),
+        "legs": legs,
+    }
+
+    print()
+    print(f"streaming census (simulate mode), chunk={CHUNK_ROWS} rows")
+    for leg in legs:
+        print(f"  {leg['platforms']:>9,} platforms  "
+              f"{leg['wall_seconds']:7.2f}s  "
+              f"{leg['rows_per_second']:9.0f} rows/s  "
+              f"heap peak {leg['heap_peak_mb']:6.1f} MiB")
+
+    if SMOKE:
+        peak = by_size[10_000]["heap_peak_mb"]
+        payload["smoke_peak_mb"] = peak
+        payload["smoke_peak_budget_mb"] = SMOKE_PEAK_MIB
+        OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+        assert peak <= SMOKE_PEAK_MIB, (
+            f"10k-platform census peaked at {peak:.1f} MiB of heap; "
+            f"budget is {SMOKE_PEAK_MIB:.0f} MiB")
+    else:
+        peak_100k = by_size[100_000]["heap_peak_mb"]
+        peak_1m = by_size[1_000_000]["heap_peak_mb"]
+        growth = peak_1m / peak_100k if peak_100k else float("inf")
+        payload["peak_growth_1m_vs_100k"] = growth
+        payload["sublinear_factor_gate"] = SUBLINEAR_FACTOR
+        OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"  1M vs 100k heap-peak growth: {growth:.2f}x "
+              f"(gate <= {SUBLINEAR_FACTOR}x, written to {OUTPUT.name})")
+        assert growth <= SUBLINEAR_FACTOR, (
+            f"1M-platform census heap peak is {growth:.2f}x the 100k peak "
+            f"— memory is scaling with census size "
+            f"({peak_1m:.1f} vs {peak_100k:.1f} MiB)")

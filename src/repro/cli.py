@@ -7,6 +7,8 @@ that surface for the simulated testbed.  Subcommands:
 * ``enumerate`` — cache enumeration against a platform you describe.
 * ``table1``    — regenerate Table I from a fresh SMTP collection.
 * ``figures``   — regenerate the Figure 3/4/6 series for small populations.
+* ``census``    — population census; ``--stream`` runs the bounded-memory
+  pipeline with chunked NDJSON export and ``--resume`` checkpoints.
 * ``analysis``  — print the §V-B coupon-collector planning table.
 """
 
@@ -313,6 +315,73 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_census(args: argparse.Namespace) -> int:
+    """Population census: in-memory or streaming bounded-memory pipeline."""
+    from .net.faults import FAULT_PROFILES
+    from .study import WorldConfig, format_table
+    from .study.census import MemoryBudgetExceeded, run_census
+
+    if args.count < 1:
+        print("error: --count must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.fault_profile not in FAULT_PROFILES:
+        print(f"error: unknown --fault-profile {args.fault_profile!r} "
+              f"(known: {', '.join(sorted(FAULT_PROFILES))})",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.out:
+        print("error: --resume requires --out", file=sys.stderr)
+        return 2
+    config = WorldConfig(seed=args.seed, fault_profile=args.fault_profile)
+    caps = {"max_caches": args.max_caches, "max_ingress": args.max_ingress,
+            "max_egress": args.max_egress}
+    try:
+        result = run_census(
+            population=args.population,
+            count=args.count,
+            seed=args.seed,
+            workers=args.workers,
+            n_shards=args.shards,
+            config=config,
+            stream=args.stream,
+            simulate=args.simulate,
+            out_dir=args.out,
+            chunk_size=args.chunk_size,
+            resume=args.resume,
+            max_rss_mb=args.max_rss_mb,
+            spec_caps=caps,
+        )
+    except MemoryBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    aggregates = result.aggregates
+    mode = ("simulated" if args.simulate
+            else "streaming" if args.stream else "in-memory")
+    print(f"census: {aggregates.rows} platforms ({mode} pipeline)")
+    print(format_table(
+        ["group", "n", "exact", "MAE", "bias"],
+        [(label, str(n), exact, mae, bias)
+         for label, n, exact, mae, bias in aggregates.accuracy.rows()],
+        title="accuracy"))
+    ledger = aggregates.ledger.to_dict()
+    print(f"budget ledger: {ledger['spent_queries']} of "
+          f"{ledger['budget_queries']} planned queries "
+          f"({100 * aggregates.ledger.utilisation:.1f}% utilisation, "
+          f"{ledger['chunks']} chunks)")
+    if result.perf is not None:
+        print(f"throughput: {result.perf.platforms_per_second:.1f} "
+              f"platforms/s on {result.perf.workers} workers")
+    print(f"peak RSS: {result.peak_rss_mb:.1f} MiB")
+    if args.out:
+        note = (f" ({result.skipped_rows} rows resumed from checkpoint)"
+                if result.skipped_rows else "")
+        print(f"wrote {result.written_rows} rows to {args.out}{note}")
+    return 0
+
+
 def _cmd_analysis(args: argparse.Namespace) -> int:
     print("n caches | E[X]=n*H_n | q for 99% | init/validate success (N=2n)")
     for n in args.n:
@@ -373,6 +442,42 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default=None,
                          help="directory for CSV exports")
     figures.set_defaults(func=_cmd_figures)
+
+    census = sub.add_parser(
+        "census", help="population census (streaming bounded-memory mode)")
+    census.add_argument("--population", default="open-resolvers",
+                        help="population model to census")
+    census.add_argument("--count", type=int, default=100,
+                        help="platforms to census")
+    census.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = in-process engine)")
+    census.add_argument("--shards", type=int, default=None,
+                        help="shard count (default: engine default)")
+    census.add_argument("--stream", action="store_true",
+                        help="bounded-memory pipeline: rows stream through "
+                             "online aggregation and chunked NDJSON export")
+    census.add_argument("--simulate", action="store_true",
+                        help="synthetic deterministic rows, no worlds "
+                             "(scale/pipeline testing)")
+    census.add_argument("--out", default=None,
+                        help="directory for the chunked NDJSON export")
+    census.add_argument("--chunk-size", type=int, default=1000,
+                        help="rows per export chunk (checkpoint unit)")
+    census.add_argument("--resume", action="store_true",
+                        help="resume an interrupted census from the last "
+                             "complete chunk in --out")
+    census.add_argument("--max-rss-mb", type=float, default=None,
+                        help="abort (keeping the checkpoint) if peak RSS "
+                             "crosses this many MiB")
+    census.add_argument("--fault-profile", default="none",
+                        help="named fault profile (see repro.net.faults)")
+    census.add_argument("--max-caches", type=int, default=8,
+                        help="population cap: caches per platform")
+    census.add_argument("--max-ingress", type=int, default=4,
+                        help="population cap: ingress IPs per platform")
+    census.add_argument("--max-egress", type=int, default=8,
+                        help="population cap: egress IPs per platform")
+    census.set_defaults(func=_cmd_census)
 
     analysis = sub.add_parser("analysis", help="coupon-collector table")
     analysis.add_argument("n", type=int, nargs="*",

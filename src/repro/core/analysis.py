@@ -190,3 +190,63 @@ def estimate_from_occupancy(queries: int, distinct_arrivals: int) -> float:
         else:
             high = mid
     return (low + high) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# streaming budget accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CouponBudgetLedger:
+    """Coupon-collector query budgets, charged per streamed chunk.
+
+    A streaming census never holds all rows, so the budget bookkeeping must
+    fold incrementally: each platform *charges* its planned budget (the
+    coupon-collector ``queries_for_confidence`` allowance) and *spends* the
+    queries actually used; ``close_chunk`` snapshots a chunk boundary.  All
+    counters are integers, so ledgers merge associatively — parent and
+    worker-shard ledgers combine into the same totals the in-memory path
+    would have produced.
+    """
+
+    platforms: int = 0
+    chunks: int = 0
+    budget_queries: int = 0
+    spent_queries: int = 0
+
+    def charge(self, n_caches: int, confidence: float = 0.99) -> int:
+        """Charge one platform's planned coupon-collector allowance."""
+        budget = queries_for_confidence(max(n_caches, 2), confidence)
+        self.platforms += 1
+        self.budget_queries += budget
+        return budget
+
+    def spend(self, queries_used: int) -> None:
+        """Record queries actually spent (≤ or > budget are both legal)."""
+        self.spent_queries += queries_used
+
+    def close_chunk(self) -> None:
+        """Mark a chunk boundary (one durable unit of the streamed census)."""
+        self.chunks += 1
+
+    def merge(self, other: "CouponBudgetLedger") -> None:
+        self.platforms += other.platforms
+        self.chunks += other.chunks
+        self.budget_queries += other.budget_queries
+        self.spent_queries += other.spent_queries
+
+    @property
+    def utilisation(self) -> float:
+        """Spent / budgeted — how tight the coupon planner ran."""
+        return (self.spent_queries / self.budget_queries
+                if self.budget_queries else 0.0)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "platforms": self.platforms,
+            "chunks": self.chunks,
+            "budget_queries": self.budget_queries,
+            "spent_queries": self.spent_queries,
+            "utilisation": self.utilisation,
+        }

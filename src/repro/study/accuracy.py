@@ -39,6 +39,19 @@ class AccuracyStats:
         self.absolute_error_sum += abs(error)
         self.signed_error_sum += error
 
+    def merge(self, other: "AccuracyStats") -> None:
+        """Fold another partial into this one.
+
+        The error sums only ever accumulate integers, so float addition is
+        exact and merge order cannot change any derived statistic.
+        """
+        self.count += other.count
+        self.exact += other.exact
+        self.absolute_error_sum += other.absolute_error_sum
+        self.signed_error_sum += other.signed_error_sum
+        self.undercounts += other.undercounts
+        self.overcounts += other.overcounts
+
     @property
     def exact_rate(self) -> float:
         return self.exact / self.count if self.count else 0.0
@@ -60,6 +73,28 @@ class AccuracyReport:
         default_factory=dict)
     cache_by_technique: dict[str, AccuracyStats] = field(default_factory=dict)
     egress_overall: AccuracyStats = field(default_factory=AccuracyStats)
+
+    def add_row(self, row: PlatformMeasurement) -> None:
+        """Fold one measurement row into the running report."""
+        self.cache_overall.add(row.measured_caches, row.true_caches)
+        klass = selector_class_of(row.spec.selector_name)
+        self.cache_by_selector_class.setdefault(
+            klass, AccuracyStats()).add(row.measured_caches, row.true_caches)
+        self.cache_by_technique.setdefault(
+            row.technique, AccuracyStats()).add(row.measured_caches,
+                                                row.true_caches)
+        self.egress_overall.add(row.measured_egress, row.true_egress)
+
+    def merge(self, other: "AccuracyReport") -> None:
+        """Fold another partial report into this one (associative)."""
+        self.cache_overall.merge(other.cache_overall)
+        for label, stats in other.cache_by_selector_class.items():
+            self.cache_by_selector_class.setdefault(
+                label, AccuracyStats()).merge(stats)
+        for label, stats in other.cache_by_technique.items():
+            self.cache_by_technique.setdefault(
+                label, AccuracyStats()).merge(stats)
+        self.egress_overall.merge(other.egress_overall)
 
     def rows(self) -> list[tuple[str, int, str, str, str]]:
         """Render-ready (group, n, exact%, MAE, bias) rows."""
@@ -102,12 +137,5 @@ def accuracy_report(measurements: Iterable[PlatformMeasurement],
     for row in measurements:
         if predicate is not None and not predicate(row):
             continue
-        report.cache_overall.add(row.measured_caches, row.true_caches)
-        klass = selector_class_of(row.spec.selector_name)
-        report.cache_by_selector_class.setdefault(
-            klass, AccuracyStats()).add(row.measured_caches, row.true_caches)
-        report.cache_by_technique.setdefault(
-            row.technique, AccuracyStats()).add(row.measured_caches,
-                                                row.true_caches)
-        report.egress_overall.add(row.measured_egress, row.true_egress)
+        report.add_row(row)
     return report

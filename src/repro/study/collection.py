@@ -16,8 +16,9 @@ Three collectors mirror the paper's three acquisition channels:
 
 from __future__ import annotations
 
+from collections.abc import Sized
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..client.smtp import DKIM_SELECTOR
 from ..client.webpage import AdCampaign
@@ -50,7 +51,7 @@ class ScanResult:
 
 
 def scan_for_open_resolvers(world: SimulatedInternet,
-                            specs: list[PlatformSpec],
+                            specs: Iterable[PlatformSpec],
                             closed_fraction: float = 0.45,
                             limit: Optional[int] = None,
                             integrity_check: bool = False) -> ScanResult:
@@ -61,6 +62,11 @@ def scan_for_open_resolvers(world: SimulatedInternet,
     the first ``limit`` platforms that answer a query for a record in our
     domain, exactly like the paper's two-step selection.
 
+    ``specs`` may be any iterable — a generator from
+    :func:`~repro.study.population.iter_population` streams candidates
+    through the scan one at a time, so the candidate list itself never has
+    to exist in memory (only the surviving open platforms do).
+
     ``integrity_check=True`` additionally runs the
     :mod:`repro.core.integrity` hygiene checks and drops flagged resolvers
     — the paper's "excludes malicious networks" step (§III-A).
@@ -70,9 +76,16 @@ def scan_for_open_resolvers(world: SimulatedInternet,
     refused = 0
     unreachable = 0
     flagged = 0
+    # A sized input reports its full candidate pool (seed behaviour, even
+    # when ``limit`` stops the scan early); a pure stream can only report
+    # the candidates actually drawn.
+    sized: Optional[int] = (len(specs)
+                            if isinstance(specs, Sized) else None)
+    consumed = 0
     perf = PerfCounters()
-    with track(world, perf=perf, platforms=len(specs)):
+    with track(world, perf=perf):
         for spec in specs:
+            consumed += 1
             hosted = world.add_platform_from_spec(spec)
             if rng.random() < closed_fraction:
                 hosted.platform.config.open_to = "172.16.0.0/12"
@@ -99,8 +112,10 @@ def scan_for_open_resolvers(world: SimulatedInternet,
                     break
             else:
                 refused += 1
+    candidates = sized if sized is not None else consumed
+    perf.platforms += candidates
     return ScanResult(
-        candidates=len(specs),
+        candidates=candidates,
         open_platforms=open_platforms,
         refused=refused,
         unreachable=unreachable,

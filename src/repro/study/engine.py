@@ -597,6 +597,8 @@ class _FastPlan:
             return None           # exactly one rng draw per send call
         if not server.online or server.rrl_rate is not None:
             return None
+        if server.query_log.window is not None:
+            return None           # inline record() does not replicate eviction
         ns_ip = world.cde.ns_ip
         if network.endpoint_at(ns_ip) is not server:
             return None
@@ -1870,6 +1872,11 @@ class ShardLane:
         self.fused_probes = 0
         self.fallback_probes = 0
         self.rows: list[PlatformMeasurement] = []
+        #: Running counters mirroring what :meth:`outcome` reports, so a
+        #: streaming driver may drain ``rows`` as they finish without
+        #: changing any perf number the in-memory path would produce.
+        self.platforms_done = 0
+        self._indirect_queries = 0
         self.world = SimulatedInternet(task.config)
         #: Root-hints → captured referral chain, shared across the lane's
         #: platform plans (the chain is world state, not platform state).
@@ -1891,8 +1898,24 @@ class ShardLane:
                 # machines; they stay whole-platform turns.
                 measure = MEASURES[spec.population]
                 row = measure(self.world, hosted, budget)
+            self.platforms_done += 1
+            if row.technique != "direct":
+                self._indirect_queries += row.queries_used
             self.rows.append(row)
             yield
+
+    def drain_rows(self) -> list[PlatformMeasurement]:
+        """Hand over (and forget) the rows finished since the last drain.
+
+        Rows leave in lane order — the order :meth:`outcome` would have
+        reported them in — so a streaming driver reassembles the exact
+        in-memory result without the lane ever retaining it.
+        """
+        if not self.rows:
+            return self.rows
+        drained = self.rows
+        self.rows = []
+        return drained
 
     def step(self) -> bool:
         """Advance one turn; ``False`` once the lane has finished."""
@@ -1917,13 +1940,12 @@ class ShardLane:
         wire_hits, wire_misses = wire_cache_counters()
         perf = ShardPerf(
             shard_index=self.task.shard_index,
-            platforms=len(self.rows),
+            platforms=self.platforms_done,
             wall_seconds=self.busy_seconds,
             # Methodology spend: direct probes plus the queries the indirect
             # techniques pushed through SMTP servers and browsers.
-            queries_sent=self.world.prober.queries_sent + sum(
-                row.queries_used for row in self.rows
-                if row.technique != "direct"),
+            queries_sent=self.world.prober.queries_sent
+            + self._indirect_queries,
             stats=stats_delta(self._stats_before, self.world.network.stats),
             fused_probes=self.fused_probes,
             fallback_probes=self.fallback_probes,
@@ -1935,6 +1957,13 @@ class ShardLane:
         return ShardOutcome(shard_index=self.task.shard_index,
                             positions=self.task.positions,
                             rows=self.rows, perf=perf)
+
+
+#: Per-lane bound on finished-but-undelivered rows in the streaming
+#: scheduler.  A lane that runs this far ahead of the stripe frontier is
+#: paused; the frontier's *owner* lane always has an empty buffer (its rows
+#: are delivered the moment they finish), so pausing can never deadlock.
+STREAM_BUFFER_ROWS = 8
 
 
 class PipelinedEngine:
@@ -1949,4 +1978,65 @@ class PipelinedEngine:
             lane = active.popleft()
             if lane.step():
                 active.append(lane)
+        return [lane.outcome() for lane in self.lanes]
+
+    def stream(self) -> Generator[tuple[int, PlatformMeasurement],
+                                  None, None]:
+        """Yield ``(position, row)`` in global spec order as rows finish.
+
+        Lanes are independent worlds, so interleaving (and pausing) turns
+        cannot change any lane's rows — the stream is byte-identical to
+        :meth:`run` reassembled in spec order, while holding at most
+        :data:`STREAM_BUFFER_ROWS` undelivered rows per lane.  After
+        exhaustion every lane is finished and :meth:`outcomes` reports the
+        same perf numbers the in-memory path would.
+        """
+        lanes = self.lanes
+        buffers: list[deque[PlatformMeasurement]] = [
+            deque() for _ in lanes]
+        delivered = [0] * len(lanes)
+        frontier = 0
+        total = sum(len(lane.task.positions) for lane in lanes)
+        active = deque(range(len(lanes)))
+        yielded = 0
+        while yielded < total:
+            # Deliver every row available at the stripe frontier.
+            progressed = True
+            while progressed:
+                progressed = False
+                for index, lane in enumerate(lanes):
+                    positions = lane.task.positions
+                    if (delivered[index] < len(positions)
+                            and positions[delivered[index]] == frontier
+                            and buffers[index]):
+                        yield frontier, buffers[index].popleft()
+                        delivered[index] += 1
+                        frontier += 1
+                        yielded += 1
+                        progressed = True
+            if yielded >= total:
+                break
+            # Advance the scheduler: next unpaused lane takes a turn.
+            for _ in range(len(active)):
+                index = active.popleft()
+                lane = lanes[index]
+                positions = lane.task.positions
+                owns_frontier = (delivered[index] < len(positions)
+                                 and positions[delivered[index]] == frontier)
+                if len(buffers[index]) >= STREAM_BUFFER_ROWS \
+                        and not owns_frontier:
+                    active.append(index)    # paused until the frontier moves
+                    continue
+                if lane.step():
+                    active.append(index)
+                buffers[index].extend(lane.drain_rows())
+                break
+        # Every row is out; spend the lanes' remaining (row-free) turns so
+        # each generator finishes and ``outcomes()`` may be read.
+        for lane in lanes:
+            while lane.step():
+                pass
+
+    def outcomes(self) -> list[ShardOutcome]:
+        """Per-lane outcomes once every lane has finished."""
         return [lane.outcome() for lane in self.lanes]

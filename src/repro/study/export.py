@@ -8,8 +8,10 @@ surveys and monitor histories.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Optional
+import os
+from typing import Any, Iterable, Iterator, Optional
 
 from ..core.edns_survey import EdnsSurveyResult
 from ..core.monitor import PlatformMonitor
@@ -86,8 +88,9 @@ def measurement_to_dict(measurement: PlatformMeasurement) -> dict[str, Any]:
     return data
 
 
-def measurements_to_dict(measurements: list[PlatformMeasurement]
+def measurements_to_dict(measurements: Iterable[PlatformMeasurement]
                          ) -> list[dict[str, Any]]:
+    """Row dicts for any iterable of measurements (list, stream, ...)."""
     return [measurement_to_dict(measurement) for measurement in measurements]
 
 
@@ -145,3 +148,244 @@ def monitor_to_dict(monitor: PlatformMonitor) -> dict[str, Any]:
 def to_json(payload: Any, indent: int = 2) -> str:
     """Serialize any of the dict shapes above to JSON text."""
     return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# chunked NDJSON census export (streaming pipeline)
+# ---------------------------------------------------------------------------
+
+#: Manifest schema version; bumped on any incompatible layout change.
+MANIFEST_VERSION = 1
+
+#: Default rows per chunk file.  Bounds writer memory (one chunk of lines)
+#: and bounds what a crash can lose (the current, not-yet-durable chunk).
+DEFAULT_CHUNK_ROWS = 1000
+
+MANIFEST_NAME = "manifest.json"
+_CHUNK_PATTERN = "chunk-{:05d}.ndjson"
+
+
+def ndjson_line(data: dict[str, Any]) -> str:
+    """The canonical one-line rendering of a row dict.
+
+    Sorted keys and fixed separators make the line a pure function of the
+    dict — the byte-identity the streaming equivalence tests assert rests
+    on this canonical form.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def measurement_to_ndjson(measurement: PlatformMeasurement) -> str:
+    return ndjson_line(measurement_to_dict(measurement))
+
+
+class CensusWriter:
+    """Chunked NDJSON writer with a resumable manifest.
+
+    Rows append to an in-memory buffer of at most ``chunk_size`` lines;
+    each full buffer becomes one durable chunk file (written to a ``.part``
+    name, then atomically renamed) and is recorded — with its row count and
+    SHA-256 — in ``manifest.json`` (also updated atomically).  ``close()``
+    flushes the final short chunk and marks the manifest complete.
+
+    Resume (``resume=True``) re-opens an interrupted census: stray partial
+    files are removed, the durable chunks are kept, and the writer silently
+    skips exactly the rows already durable — so the caller replays the
+    deterministic stream from the start and the reassembled output is
+    byte-identical to an uninterrupted run.
+    """
+
+    def __init__(self, directory: str,
+                 chunk_size: int = DEFAULT_CHUNK_ROWS,
+                 meta: Optional[dict[str, Any]] = None,
+                 resume: bool = False):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.directory = directory
+        self.chunk_size = chunk_size
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.chunks: list[dict[str, Any]] = []
+        self.skipped = 0
+        self.closed = False
+        self._buffer: list[str] = []
+        self._skip = 0
+        self._resume = resume
+        # Construction touches no files (constructors stay effect-free);
+        # the directory opens lazily on the first write or close.
+        self._opened = False
+
+    # -- construction helpers ------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._opened:
+            return
+        self._opened = True
+        os.makedirs(self.directory, exist_ok=True)
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        if self._resume and os.path.exists(manifest_path):
+            self._load_for_resume(manifest_path)
+        else:
+            self._clear_directory()
+            self._write_manifest(complete=False)
+
+    def _clear_directory(self) -> None:
+        """Drop leftovers of any earlier census in this directory."""
+        for name in sorted(os.listdir(self.directory)):
+            if name == MANIFEST_NAME or name.endswith(".part") or (
+                    name.startswith("chunk-") and name.endswith(".ndjson")):
+                os.unlink(os.path.join(self.directory, name))
+
+    def _load_for_resume(self, manifest_path: str) -> None:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"cannot resume manifest version {manifest.get('version')!r}")
+        if manifest.get("complete"):
+            raise ValueError("census already complete; nothing to resume")
+        if self.meta and manifest.get("meta") != self.meta:
+            raise ValueError(
+                "resume meta mismatch: the checkpoint was written by a "
+                f"different census ({manifest.get('meta')!r} != "
+                f"{self.meta!r})")
+        self.meta = dict(manifest.get("meta") or {})
+        self.chunk_size = int(manifest["chunk_size"])
+        self.chunks = list(manifest["chunks"])
+        self._skip = sum(int(chunk["rows"]) for chunk in self.chunks)
+        recorded = {chunk["name"] for chunk in self.chunks}
+        # A crash can strand a renamed chunk the manifest never recorded,
+        # or a half-written .part file; both are re-produced by the replay.
+        for name in sorted(os.listdir(self.directory)):
+            stray = (name.endswith(".part")
+                     or (name.startswith("chunk-")
+                         and name.endswith(".ndjson")
+                         and name not in recorded))
+            if stray:
+                os.unlink(os.path.join(self.directory, name))
+
+    # -- writing -------------------------------------------------------------
+
+    @property
+    def durable_rows(self) -> int:
+        """Rows safely on disk in manifest-recorded chunks."""
+        return sum(int(chunk["rows"]) for chunk in self.chunks)
+
+    @property
+    def pending_rows(self) -> int:
+        return len(self._buffer)
+
+    def write_row(self, measurement: PlatformMeasurement) -> bool:
+        """Append one measurement; ``False`` when skipped (already durable)."""
+        return self.write_dict(measurement_to_dict(measurement))
+
+    def write_dict(self, data: dict[str, Any]) -> bool:
+        if self.closed:
+            raise RuntimeError("writer is closed")
+        self._ensure_open()
+        if self._skip:
+            self._skip -= 1
+            self.skipped += 1
+            return False
+        self._buffer.append(ndjson_line(data))
+        if len(self._buffer) >= self.chunk_size:
+            self._flush_chunk()
+        return True
+
+    def _flush_chunk(self) -> None:
+        if not self._buffer:
+            return
+        blob = ("\n".join(self._buffer) + "\n").encode("utf-8")
+        name = _CHUNK_PATTERN.format(len(self.chunks))
+        path = os.path.join(self.directory, name)
+        part = path + ".part"
+        with open(part, "wb") as handle:
+            handle.write(blob)
+        os.replace(part, path)
+        self.chunks.append({
+            "name": name,
+            "rows": len(self._buffer),
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        })
+        self._buffer = []
+        self._write_manifest(complete=False)
+
+    def _write_manifest(self, complete: bool) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "chunk_size": self.chunk_size,
+            "complete": complete,
+            "rows": self.durable_rows,
+            "meta": self.meta,
+            "chunks": self.chunks,
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        part = path + ".part"
+        with open(part, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(part, path)
+
+    def close(self) -> None:
+        """Flush the final short chunk and mark the census complete."""
+        if self.closed:
+            return
+        self._ensure_open()
+        self._flush_chunk()
+        self._write_manifest(complete=True)
+        self.closed = True
+
+    def __enter__(self) -> "CensusWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        # Only a clean exit marks the manifest complete; an exception
+        # leaves a resumable checkpoint behind.
+        if exc_info[0] is None:
+            self.close()
+
+
+def read_census_manifest(directory: str) -> dict[str, Any]:
+    with open(os.path.join(directory, MANIFEST_NAME), "r",
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {manifest.get('version')!r}")
+    return manifest
+
+
+def read_census_rows(directory: str, verify: bool = True,
+                     require_complete: bool = False
+                     ) -> Iterator[dict[str, Any]]:
+    """Stream row dicts back from a chunked census export.
+
+    One chunk is resident at a time; ``verify`` re-checks each chunk's
+    SHA-256 against the manifest before parsing it.
+    """
+    manifest = read_census_manifest(directory)
+    if require_complete and not manifest.get("complete"):
+        raise ValueError(f"census in {directory!r} is incomplete")
+    for chunk in manifest["chunks"]:
+        path = os.path.join(directory, chunk["name"])
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if verify:
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != chunk["sha256"]:
+                raise ValueError(
+                    f"chunk {chunk['name']} is corrupt: sha256 {digest} != "
+                    f"manifest {chunk['sha256']}")
+        lines = blob.decode("utf-8").splitlines()
+        if len(lines) != int(chunk["rows"]):
+            raise ValueError(
+                f"chunk {chunk['name']} has {len(lines)} rows, manifest "
+                f"says {chunk['rows']}")
+        for line in lines:
+            yield json.loads(line)
+
+
+def read_census_lines(directory: str, verify: bool = True
+                      ) -> Iterator[str]:
+    """The canonical NDJSON lines of a census, in row order."""
+    for row in read_census_rows(directory, verify=verify):
+        yield ndjson_line(row)

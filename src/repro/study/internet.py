@@ -70,6 +70,12 @@ class WorldConfig:
     #: ``False`` restores the seed's full-scan log — only the scaling
     #: benches use it, to measure what the indexes buy.
     indexed_logs: bool = True
+    #: Ring-buffer window (entries) for the CDE query logs; ``None`` keeps
+    #: every entry forever (seed behaviour).  Streaming censuses set a
+    #: window comfortably above one platform's probe horizon so the logs
+    #: stop growing with census size without changing any measured row
+    #: (probe names are unique and log reads carry ``since`` cutoffs).
+    log_window: Optional[int] = None
     #: Named fault profile (see :data:`repro.net.faults.FAULT_PROFILES`).
     #: ``"none"`` attaches no injector at all — every code path and RNG
     #: draw stays byte-identical to a fault-free world.  Carried as a
@@ -107,7 +113,8 @@ class SimulatedInternet:
         self.cde = CdeInfrastructure(self.network, self.hierarchy,
                                      base_domain=self.config.base_domain,
                                      profile=infra_profile,
-                                     indexed_logs=self.config.indexed_logs)
+                                     indexed_logs=self.config.indexed_logs,
+                                     log_window=self.config.log_window)
 
         prober_profile = LinkProfile(
             latency=wan_path(self.config.prober_latency,

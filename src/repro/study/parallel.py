@@ -34,10 +34,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import astuple, dataclass, replace
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from ..net.perf import PerfCounters
 from ..net.rng import derive_seed
@@ -157,18 +158,45 @@ def _encode_task(task: ShardTask) -> bytes:
         protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _run_shard_payload(payload: bytes) -> ShardOutcome:
-    """Pool entry point: rebuild the :class:`ShardTask`, then run it."""
+def _decode_task(payload: bytes) -> ShardTask:
+    """Rebuild the :class:`ShardTask` from its compact pool handoff."""
     shard_index, seed, positions, spec_rows, config_row, budget_row = (
         pickle.loads(payload))
-    return run_shard(ShardTask(
+    return ShardTask(
         shard_index=shard_index,
         seed=seed,
         positions=tuple(positions),
         specs=tuple(PlatformSpec(*row) for row in spec_rows),
         config=WorldConfig(*config_row),
         budget=MeasurementBudget(*budget_row),
-    ))
+    )
+
+
+def _run_shard_payload(payload: bytes) -> ShardOutcome:
+    """Pool entry point: rebuild the :class:`ShardTask`, then run it."""
+    return run_shard(_decode_task(payload))
+
+
+def _run_shard_spill(handoff: tuple[bytes, str]) -> ShardOutcome:
+    """Pool entry point for streaming: rows spill to disk as they finish.
+
+    The worker never holds more than one lane-batch of rows: every finished
+    row is pickled to the shard's spill file immediately, and the returned
+    :class:`ShardOutcome` carries only the perf sample (``rows`` empty).
+    The parent re-reads the spill files one row at a time in stripe order,
+    so parent *and* worker memory stay bounded regardless of census size.
+    """
+    from .engine import ShardLane     # lazy: the engine imports this module
+
+    payload, spill_path = handoff
+    lane = ShardLane(_decode_task(payload))
+    with open(spill_path, "wb") as sink:
+        more = True
+        while more:
+            more = lane.step()
+            for row in lane.drain_rows():
+                pickle.dump(row, sink, protocol=pickle.HIGHEST_PROTOCOL)
+    return lane.outcome()
 
 
 def resolve_workers(workers: WorkerSpec, n_tasks: int, n_platforms: int,
@@ -251,6 +279,127 @@ def run_parallel_measurement(specs: list[PlatformSpec],
         n_shards=len(tasks),
         base_seed=base_seed,
     )
+
+
+@dataclass
+class StreamingMeasurement:
+    """A streamed population sweep: iterate the rows, then read ``perf``.
+
+    Iterating yields :class:`PlatformMeasurement` rows in original spec
+    order without ever materializing the full list.  ``perf`` is populated
+    once the iterator is exhausted (``None`` before that — the shards are
+    still running).
+    """
+
+    n_shards: int
+    base_seed: int
+    total: int
+    perf: Optional[PerfCounters] = None
+    _iterator: Optional[Iterator[PlatformMeasurement]] = None
+
+    def __iter__(self) -> Iterator[PlatformMeasurement]:
+        if self._iterator is None:
+            raise RuntimeError("stream not attached")
+        return self._iterator
+
+
+def _merge_spilled(tasks: list[ShardTask], paths: list[str]
+                   ) -> Iterator[PlatformMeasurement]:
+    """Reassemble spilled shard rows in global spec order, one at a time."""
+    files = [open(path, "rb") for path in paths]
+    try:
+        readers = [pickle.Unpickler(handle) for handle in files]
+        taken = [0] * len(tasks)
+        total = sum(len(task.positions) for task in tasks)
+        for frontier in range(total):
+            for index, task in enumerate(tasks):
+                if taken[index] < len(task.positions) and \
+                        task.positions[taken[index]] == frontier:
+                    try:
+                        row = readers[index].load()
+                    except EOFError as exc:
+                        raise RuntimeError(
+                            f"shard {task.shard_index} spill ended early "
+                            f"at position {frontier}") from exc
+                    taken[index] += 1
+                    assert isinstance(row, PlatformMeasurement)
+                    yield row
+                    break
+            else:
+                raise RuntimeError(
+                    f"shard plan lost spec at position {frontier}")
+    finally:
+        for handle in files:
+            handle.close()
+
+
+def stream_parallel_measurement(specs: list[PlatformSpec],
+                                base_seed: int = 0,
+                                workers: WorkerSpec = 0,
+                                n_shards: Optional[int] = None,
+                                config: Optional[WorldConfig] = None,
+                                budget: Optional[MeasurementBudget] = None,
+                                force_pool: bool = False,
+                                spill_dir: Optional[str] = None
+                                ) -> StreamingMeasurement:
+    """Measure a population as a bounded-memory stream of rows.
+
+    Same plan, same seeds, same rows as :func:`run_parallel_measurement` —
+    the stream is row-for-row identical to the in-memory result at every
+    worker count — but no layer ever holds the whole census:
+
+    * in-process, :meth:`PipelinedEngine.stream` delivers rows at the
+      stripe frontier with a constant per-lane buffer bound;
+    * on a pool, workers spill finished rows to per-shard files
+      (:func:`_run_shard_spill`) and the parent re-reads them one row at a
+      time in stripe order (``spill_dir`` picks where; default the system
+      temp dir).
+    """
+    tasks = plan_shards(specs, base_seed=base_seed, n_shards=n_shards,
+                        config=config, budget=budget)
+    pool_size = resolve_workers(workers, len(tasks), len(specs),
+                                force_pool=force_pool)
+    result = StreamingMeasurement(n_shards=len(tasks), base_seed=base_seed,
+                                  total=len(specs))
+
+    def _stream() -> Iterator[PlatformMeasurement]:
+        started = time.perf_counter()
+        perf = PerfCounters(workers=pool_size)
+        if pool_size == 0 or len(tasks) <= 1:
+            from .engine import PipelinedEngine   # lazy: engine imports us
+
+            engine = PipelinedEngine(tasks)
+            expected = 0
+            for position, row in engine.stream():
+                if position != expected:
+                    raise RuntimeError(
+                        f"stream out of order: got position {position}, "
+                        f"expected {expected}")
+                expected += 1
+                yield row
+            outcomes = engine.outcomes()
+        else:
+            spill = tempfile.TemporaryDirectory(prefix="census-spill-",
+                                                dir=spill_dir)
+            try:
+                handoffs = [
+                    (_encode_task(task),
+                     os.path.join(spill.name,
+                                  f"shard-{task.shard_index:05d}.rows"))
+                    for task in tasks]
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    outcomes = list(pool.map(_run_shard_spill, handoffs))
+                yield from _merge_spilled(tasks,
+                                          [path for _, path in handoffs])
+            finally:
+                spill.cleanup()
+        for outcome in sorted(outcomes, key=lambda o: o.shard_index):
+            perf.add_shard(outcome.perf)
+        perf.wall_seconds = time.perf_counter() - started
+        result.perf = perf
+
+    result._iterator = _stream()
+    return result
 
 
 def measure_population_parallel(specs: list[PlatformSpec],

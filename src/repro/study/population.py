@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from .operators import country_of_operator, draw_operator
 
@@ -184,8 +184,26 @@ class PopulationGenerator:
     def draw_many(self, count: int) -> list[PlatformSpec]:
         return [self.draw() for _ in range(count)]
 
+    def iter_draws(self, count: int) -> Iterator[PlatformSpec]:
+        """Stream ``count`` draws without materializing the list.
+
+        Same RNG, same order — ``list(gen.iter_draws(n))`` equals
+        ``gen.draw_many(n)`` from the same generator state.  The streaming
+        census uses this so million-platform populations never exist as a
+        list anywhere.
+        """
+        for _ in range(count):
+            yield self.draw()
+
 
 def generate_population(population: str, count: int, seed: int = 0,
                         **caps: Optional[int]) -> list[PlatformSpec]:
     """Convenience: ``count`` specs of one population."""
     return PopulationGenerator(population, seed=seed, **caps).draw_many(count)
+
+
+def iter_population(population: str, count: int, seed: int = 0,
+                    **caps: Optional[int]) -> Iterator[PlatformSpec]:
+    """Streaming sibling of :func:`generate_population` (identical specs)."""
+    return PopulationGenerator(population, seed=seed,
+                               **caps).iter_draws(count)

@@ -151,3 +151,182 @@ def ratio_breakdown(pairs: Iterable[tuple[int, int]]) -> RatioBreakdown:
     ms = sum(1 for ips, caches in pairs if ips > 1 and caches <= 1)
     mm = sum(1 for ips, caches in pairs if ips > 1 and caches > 1)
     return RatioBreakdown(ss / total, sm / total, ms / total, mm / total)
+
+
+# ---------------------------------------------------------------------------
+# online accumulators (streaming census)
+# ---------------------------------------------------------------------------
+#
+# Each accumulator folds rows one at a time and merges with a peer, and every
+# internal sum is integer-valued, so one-at-a-time, chunked and all-at-once
+# folds produce *identical* results (float addition of integers is exact well
+# past any census size we run).  The batch helpers above stay as the
+# reference implementations the equivalence tests compare against.
+
+
+class CdfAccumulator:
+    """Online distribution summary matching the batch CDF helpers.
+
+    Holds one counter bucket per *distinct* value — bounded by the value
+    range (cache/egress counts), not by the number of rows folded in.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[float] = Counter()
+        self._total = 0
+
+    def add(self, value: float) -> None:
+        self._counts[value] += 1
+        self._total += 1
+
+    def merge(self, other: "CdfAccumulator") -> None:
+        self._counts.update(other._counts)
+        self._total += other._total
+
+    def __len__(self) -> int:
+        return self._total
+
+    def values(self) -> list[float]:
+        """The folded multiset, sorted — feedable to any batch helper."""
+        out: list[float] = []
+        for value in sorted(self._counts):
+            out.extend([value] * self._counts[value])
+        return out
+
+    def points(self) -> list[tuple[float, float]]:
+        """Identical to :func:`cdf_points` over the folded values."""
+        points: list[tuple[float, float]] = []
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            points.append((value, seen / self._total))
+        return points
+
+    def fraction_at_most(self, limit: float) -> float:
+        if not self._total:
+            return 0.0
+        return sum(count for value, count in self._counts.items()
+                   if value <= limit) / self._total
+
+    def fraction_above(self, limit: float) -> float:
+        return 1.0 - self.fraction_at_most(limit)
+
+    def cdf_at(self, xs: Iterable[float]) -> list[tuple[float, float]]:
+        return [(x, self.fraction_at_most(x)) for x in xs]
+
+    def median(self) -> float:
+        if not self._total:
+            raise ValueError("median of empty accumulator")
+        ordered = sorted(self._counts)
+        mid = self._total // 2
+        if self._total % 2:
+            return float(self._value_at(ordered, mid))
+        return (self._value_at(ordered, mid - 1)
+                + self._value_at(ordered, mid)) / 2.0
+
+    def _value_at(self, ordered: list[float], index: int) -> float:
+        seen = 0
+        for value in ordered:
+            seen += self._counts[value]
+            if index < seen:
+                return value
+        raise IndexError(index)
+
+
+class BubbleAccumulator:
+    """Online (x, y) cell counter matching :func:`bubble_counts`."""
+
+    def __init__(self, x_bins: Sequence[int] = DEFAULT_BINS,
+                 y_bins: Sequence[int] = DEFAULT_BINS) -> None:
+        self.x_bins = tuple(x_bins)
+        self.y_bins = tuple(y_bins)
+        self._counter: Counter[tuple[int, int]] = Counter()
+
+    def add(self, x: int, y: int) -> None:
+        self._counter[(snap_to_bin(x, self.x_bins),
+                       snap_to_bin(y, self.y_bins))] += 1
+
+    def merge(self, other: "BubbleAccumulator") -> None:
+        if (self.x_bins, self.y_bins) != (other.x_bins, other.y_bins):
+            raise ValueError("cannot merge accumulators with different bins")
+        self._counter.update(other._counter)
+
+    def counts(self) -> dict[tuple[int, int], int]:
+        return dict(self._counter)
+
+
+class RatioAccumulator:
+    """Online Figure 6 category counter matching :func:`ratio_breakdown`."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.single_single = 0
+        self.single_multi = 0
+        self.multi_single = 0
+        self.multi_multi = 0
+
+    def add(self, ips: int, caches: int) -> None:
+        self.total += 1
+        if ips <= 1:
+            if caches <= 1:
+                self.single_single += 1
+            else:
+                self.single_multi += 1
+        elif caches <= 1:
+            self.multi_single += 1
+        else:
+            self.multi_multi += 1
+
+    def merge(self, other: "RatioAccumulator") -> None:
+        self.total += other.total
+        self.single_single += other.single_single
+        self.single_multi += other.single_multi
+        self.multi_single += other.multi_single
+        self.multi_multi += other.multi_multi
+
+    def breakdown(self) -> RatioBreakdown:
+        total = self.total or 1
+        return RatioBreakdown(self.single_single / total,
+                              self.single_multi / total,
+                              self.multi_single / total,
+                              self.multi_multi / total)
+
+
+class ResilienceAccumulator:
+    """Online degradation summary matching :func:`resilience_summary`."""
+
+    def __init__(self) -> None:
+        self.platforms = 0
+        self.degraded_platforms = 0
+        self.attempts = 0
+        self.retries = 0
+        self.gave_up = 0
+        self._exposure: Counter[str] = Counter()
+
+    def add(self, row: "PlatformMeasurement") -> None:
+        self.platforms += 1
+        if row.degraded:
+            self.degraded_platforms += 1
+        self.attempts += row.attempts
+        self.retries += row.retries
+        self.gave_up += row.gave_up
+        self._exposure.update(row.fault_exposure)
+
+    def merge(self, other: "ResilienceAccumulator") -> None:
+        self.platforms += other.platforms
+        self.degraded_platforms += other.degraded_platforms
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.gave_up += other.gave_up
+        self._exposure.update(other._exposure)
+
+    def summary(self) -> ResilienceSummary:
+        return ResilienceSummary(
+            platforms=self.platforms,
+            degraded_platforms=self.degraded_platforms,
+            attempts=self.attempts,
+            retries=self.retries,
+            gave_up=self.gave_up,
+            fault_exposure={kind: self._exposure[kind]
+                            for kind in sorted(self._exposure)},
+        )

@@ -33,6 +33,44 @@ class TrendRound:
 
 
 @dataclass
+class TrendAccumulator:
+    """Online per-round fold: integer sums, so fold order never matters."""
+
+    platforms: int = 0
+    measured_caches_sum: int = 0
+    true_caches_sum: int = 0
+    edns_enabled: int = 0
+
+    def add_platform(self, measured_caches: int, true_caches: int,
+                     edns: bool) -> None:
+        self.platforms += 1
+        self.measured_caches_sum += measured_caches
+        self.true_caches_sum += true_caches
+        if edns:
+            self.edns_enabled += 1
+
+    def merge(self, other: "TrendAccumulator") -> None:
+        self.platforms += other.platforms
+        self.measured_caches_sum += other.measured_caches_sum
+        self.true_caches_sum += other.true_caches_sum
+        self.edns_enabled += other.edns_enabled
+
+    @property
+    def measured_mean_caches(self) -> float:
+        return (self.measured_caches_sum / self.platforms
+                if self.platforms else 0.0)
+
+    @property
+    def true_mean_caches(self) -> float:
+        return (self.true_caches_sum / self.platforms
+                if self.platforms else 0.0)
+
+    @property
+    def true_edns_adoption(self) -> float:
+        return self.edns_enabled / self.platforms if self.platforms else 0.0
+
+
+@dataclass
 class EvolutionModel:
     """What changes between rounds."""
 
@@ -92,26 +130,22 @@ class TrendStudy:
                        for hosted in self.platforms]
         survey = survey_edns_adoption(self.world.cde, self.world.prober,
                                       ingress_ips)
-        measured_caches = []
+        fold = TrendAccumulator()
         for hosted in self.platforms:
             budget = queries_for_confidence(
                 max(hosted.platform.n_caches, 2), self.confidence)
             census = enumerate_direct(self.world.cde, self.world.prober,
                                       hosted.platform.ingress_ips[0],
                                       q=budget)
-            measured_caches.append(census.arrivals)
-        true_edns = sum(
-            1 for hosted in self.platforms
-            if hosted.platform.config.edns_payload_size is not None
-        ) / len(self.platforms)
-        true_caches = sum(hosted.platform.n_caches
-                          for hosted in self.platforms) / len(self.platforms)
+            fold.add_platform(
+                census.arrivals, hosted.platform.n_caches,
+                hosted.platform.config.edns_payload_size is not None)
         return TrendRound(
             timestamp=self.world.clock.now,
             measured_edns_adoption=survey.adoption_rate,
-            true_edns_adoption=true_edns,
-            measured_mean_caches=sum(measured_caches) / len(measured_caches),
-            true_mean_caches=true_caches,
+            true_edns_adoption=fold.true_edns_adoption,
+            measured_mean_caches=fold.measured_mean_caches,
+            true_mean_caches=fold.true_mean_caches,
         )
 
     def run(self, rounds: int) -> list[TrendRound]:

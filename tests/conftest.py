@@ -1,10 +1,30 @@
-"""Shared fixtures: a clean simulated world per test."""
+"""Shared fixtures: a clean simulated world per test.
+
+Also the ``slow`` marker gate: scale tests (50k-platform memory bounds)
+are skipped in the default tier-1 run and opt in via ``--runslow`` (the
+CI full job passes it).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.study import SimulatedInternet, WorldConfig, build_world
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="run tests marked slow (scale/memory suites)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list[pytest.Item]) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture
