@@ -230,11 +230,13 @@ def test_bench_scaling_parallel(benchmark, fail_on_fallback):
         "speedup_workers4_vs_seed": speedup_w4,
         "legs": legs,
     }
-    # The wire-codec bench owns the "wire" section; carry it across.
+    # The wire-codec bench owns the "wire" section, and "notes" records
+    # hand-written before/after deltas; carry both across rewrites.
     if OUTPUT.exists():
         previous = json.loads(OUTPUT.read_text())
-        if "wire" in previous:
-            payload["wire"] = previous["wire"]
+        for carried in ("wire", "notes"):
+            if carried in previous:
+                payload[carried] = previous[carried]
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print()

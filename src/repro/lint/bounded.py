@@ -1,0 +1,478 @@
+"""Memory-boundedness facts (the cdebound extraction layer).
+
+PR 8 rebuilt collection/export as a streaming pipeline whose memory
+ceiling is independent of census size; the only runtime guard is a
+tracemalloc gate in a slow-marked test.  This module extracts the
+*static* facts the CDE017–CDE019 rules prove that invariant with — all
+config-independent pure functions of a file's bytes, so they live in the
+content-hash-keyed summary cache and replay warm:
+
+* **Growth sites** (:class:`GrowthSite`) — container mutations that add
+  elements (``append``/``extend``/``setdefault``/``d[k] = v``/``+=`` on
+  a container display).  Each site records the receiver's *root
+  category*, which is the static proxy for "does the container outlive
+  the per-row loop":
+
+  - ``param`` — the receiver is rooted in a parameter (including
+    ``self``), so the container belongs to a caller and survives this
+    frame;
+  - ``global`` — the receiver is rooted in a free name, so it lives for
+    the process;
+  - ``local`` — rooted in a local of a *generator* that is bound outside
+    every loop while the growth happens inside one: the generator frame
+    is suspended per row, so the local accumulates across the stream.
+    Locals of plain functions are frame-scoped (they die with the call,
+    e.g. one platform's world state) and are deliberately not recorded;
+  - ``escape`` — the receiver's root is not a simple name (e.g. a call
+    result); ownership is unknown, so it is kept conservatively.
+
+* **Allocation sites** (:class:`AllocSite`) — hoistable per-iteration
+  allocations: f-strings, ``+``/``%``/``.format`` string building on
+  literals, comprehensions consumed as a call's sole argument
+  (``x.extend(e for e in ...)``), and all-constant list/set/dict
+  displays.  Sites inside ``raise``/``assert`` subtrees are skipped
+  (failure paths are cold by construction).  Ordinary constructor calls
+  are *not* recorded: a measurement row must be constructed per probe —
+  that allocation is the product, not waste.
+
+* **Write-open sites** (:class:`OpenSite`) — ``open()`` calls whose mode
+  creates or truncates, with a static judgement of whether the target
+  path is a ``.part`` staging name, plus a per-function fact for
+  ``os.replace``/``os.rename`` calls.  Together these let CDE019 prove
+  the ``.part``-then-rename atomic checkpoint pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from .astutil import resolve_call_target
+
+#: Container methods that add elements.  Conservative by name, like the
+#: call graph itself: a false ``update`` on a non-container widens the
+#: audited surface and costs one justified carve-out, never hides growth.
+GROWTH_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "add", "update", "setdefault", "push",
+})
+
+#: Call targets that atomically publish a staged file.
+RENAME_CALLS = frozenset({"os.replace", "os.rename", "shutil.move"})
+
+
+@dataclass(frozen=True, order=True)
+class GrowthSite:
+    """One container-growth mutation site."""
+
+    line: int
+    col: int
+    op: str         # "append", "setitem", "augadd", ...
+    receiver: str   # dotted receiver, subscripts rendered as "[]"
+    category: str   # "param" | "global" | "local" | "escape"
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.col, self.op, self.receiver, self.category]
+
+    @classmethod
+    def from_json(cls, raw: list[object]) -> "GrowthSite":
+        return cls(line=int(raw[0]), col=int(raw[1]),  # type: ignore[arg-type]
+                   op=str(raw[2]), receiver=str(raw[3]),
+                   category=str(raw[4]))
+
+
+@dataclass(frozen=True, order=True)
+class AllocSite:
+    """One hoistable per-iteration allocation site."""
+
+    line: int
+    col: int
+    kind: str       # "f-string" | "str-concat" | "str-format"
+                    # | "comprehension" | "const-display"
+    detail: str     # short human label ("extend(...)", "[...] literal")
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.col, self.kind, self.detail]
+
+    @classmethod
+    def from_json(cls, raw: list[object]) -> "AllocSite":
+        return cls(line=int(raw[0]), col=int(raw[1]),  # type: ignore[arg-type]
+                   kind=str(raw[2]), detail=str(raw[3]))
+
+
+@dataclass(frozen=True, order=True)
+class OpenSite:
+    """One write-mode ``open()`` call."""
+
+    line: int
+    col: int
+    mode: str       # the constant mode string, or "?" when dynamic
+    part: bool      # the path argument is a ".part" staging name
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.col, self.mode, self.part]
+
+    @classmethod
+    def from_json(cls, raw: list[object]) -> "OpenSite":
+        return cls(line=int(raw[0]), col=int(raw[1]),  # type: ignore[arg-type]
+                   mode=str(raw[2]), part=bool(raw[3]))
+
+
+@dataclass(frozen=True)
+class BoundedFacts:
+    """The cdebound slice of one function's summary."""
+
+    growth: tuple[GrowthSite, ...]
+    allocs: tuple[AllocSite, ...]
+    opens: tuple[OpenSite, ...]
+    is_generator: bool
+    renames: bool
+
+
+# ---------------------------------------------------------------------------
+# receiver anatomy
+# ---------------------------------------------------------------------------
+
+def _receiver(expr: ast.expr) -> tuple[Optional[str], str]:
+    """``(root_name, dotted)`` of a receiver chain; root ``None`` when
+    the chain is not anchored at a simple name (call result, literal)."""
+    parts: list[str] = []
+    node = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append("[]")
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return node.id, _join_receiver(parts)
+        else:
+            parts.append("<expr>")
+            return None, _join_receiver(parts)
+
+
+def _join_receiver(parts: list[str]) -> str:
+    rendered = ""
+    for part in reversed(parts):
+        if part == "[]":
+            rendered += "[]"
+        elif rendered:
+            rendered += "." + part
+        else:
+            rendered = part
+    return rendered
+
+
+def _param_names(func: ast.AST) -> frozenset[str]:
+    args = getattr(func, "args", None)
+    if args is None:
+        return frozenset()
+    names = [a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+_CONTAINER_VALUES = (ast.List, ast.Set, ast.Dict,
+                     ast.ListComp, ast.SetComp, ast.DictComp,
+                     ast.GeneratorExp)
+
+
+def _is_container_value(value: ast.expr) -> bool:
+    if isinstance(value, _CONTAINER_VALUES):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in {"list", "sorted", "set", "dict", "tuple"}
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the one-pass walker
+# ---------------------------------------------------------------------------
+
+class _Walker:
+    """Own-body walk tracking loop depth and cold (raise/assert) scope."""
+
+    def __init__(self, func: ast.AST, aliases: dict[str, str]):
+        self.aliases = aliases
+        self.params = _param_names(func)
+        self.growth_raw: list[tuple[GrowthSite, int]] = []  # (site, depth)
+        self.allocs: list[AllocSite] = []
+        self.opens: list[OpenSite] = []
+        self.is_generator = False
+        self.renames = False
+        #: local name -> (ever bound at loop depth 0, list of binding values)
+        self.top_bindings: set[str] = set()
+        self.loop_bindings: set[str] = set()
+        self.assigns: dict[str, ast.expr] = {}
+        for stmt in ast.iter_child_nodes(func):
+            self._visit(stmt, depth=0, cold=False)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _visit(self, node: ast.AST, depth: int, cold: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return      # nested defs are their own call-graph nodes
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            self.is_generator = True
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            cold = True
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind_target(node.target, depth + 1)
+            self._visit(node.iter, depth, cold)
+            for stmt in node.body + node.orelse:
+                self._visit(stmt, depth + 1, cold)
+            return
+        if isinstance(node, ast.While):
+            self._visit(node.test, depth + 1, cold)
+            for stmt in node.body + node.orelse:
+                self._visit(stmt, depth + 1, cold)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._handle_assign_target(target, node.value, depth)
+            self._visit(node.value, depth, cold)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._handle_assign_target(node.target, node.value, depth)
+                self._visit(node.value, depth, cold)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._handle_augassign(node, depth)
+            self._visit(node.value, depth, cold)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, depth)
+        if isinstance(node, ast.NamedExpr):
+            self._bind_target(node.target, depth)
+        if isinstance(node, ast.Call):
+            self._handle_call(node, depth, cold)
+        elif isinstance(node, ast.JoinedStr):
+            if not cold:
+                self.allocs.append(AllocSite(
+                    line=node.lineno, col=node.col_offset,
+                    kind="f-string", detail="f-string built per iteration"))
+            # constants inside need no walk; formatted values do
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._visit(value.value, depth, cold)
+            return
+        elif isinstance(node, ast.BinOp):
+            self._handle_binop(node, cold)
+        elif isinstance(node, (ast.List, ast.Set, ast.Dict)):
+            self._handle_display(node, cold)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            # the comprehension's implicit loop
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, depth + 1, cold)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, depth, cold)
+
+    # -- bindings -----------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, depth: int) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                (self.top_bindings if depth == 0
+                 else self.loop_bindings).add(node.id)
+
+    def _handle_assign_target(self, target: ast.expr, value: ast.expr,
+                              depth: int) -> None:
+        if isinstance(target, ast.Name):
+            (self.top_bindings if depth == 0
+             else self.loop_bindings).add(target.id)
+            self.assigns.setdefault(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._bind_target(target, depth)
+        elif isinstance(target, ast.Subscript):
+            self._record_growth(target.value, "setitem",
+                                target.lineno, target.col_offset, depth)
+
+    def _handle_augassign(self, node: ast.AugAssign, depth: int) -> None:
+        if isinstance(node.target, ast.Subscript):
+            # d[k] += 1: new keys may materialise (Counter idiom); a
+            # fixed-slot list cursor looks identical and takes a carve-out.
+            self._record_growth(node.target.value, "setitem",
+                                node.lineno, node.col_offset, depth)
+        elif (isinstance(node.op, ast.Add)
+              and isinstance(node.target, (ast.Name, ast.Attribute))
+              and _is_container_value(node.value)):
+            self._record_growth(node.target, "augadd",
+                                node.lineno, node.col_offset, depth)
+
+    # -- growth -------------------------------------------------------------
+
+    def _record_growth(self, receiver: ast.expr, op: str,
+                       line: int, col: int, depth: int) -> None:
+        root, dotted = _receiver(receiver)
+        if root is None:
+            category = "escape"
+        elif root in self.params:
+            category = "param"
+        elif (root in self.top_bindings or root in self.loop_bindings
+              or root in self.assigns):
+            category = "local"
+        else:
+            category = "global"
+        self.growth_raw.append((GrowthSite(
+            line=line, col=col, op=op, receiver=dotted,
+            category=category), depth))
+
+    # -- calls / allocations ------------------------------------------------
+
+    def _handle_call(self, node: ast.Call, depth: int, cold: bool) -> None:
+        dotted = resolve_call_target(node.func, self.aliases)
+        if dotted in RENAME_CALLS:
+            self.renames = True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in GROWTH_METHODS):
+            self._record_growth(node.func.value, node.func.attr,
+                                node.lineno, node.col_offset, depth)
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+                and isinstance(node.func.value, ast.Constant)
+                and isinstance(node.func.value.value, str)
+                and not cold):
+            self.allocs.append(AllocSite(
+                line=node.lineno, col=node.col_offset, kind="str-format",
+                detail="'literal'.format(...) built per iteration"))
+        if (not cold and len(node.args) == 1 and not node.keywords
+                and isinstance(node.args[0], (ast.ListComp, ast.SetComp,
+                                              ast.DictComp,
+                                              ast.GeneratorExp))):
+            label = (node.func.attr if isinstance(node.func, ast.Attribute)
+                     else node.func.id if isinstance(node.func, ast.Name)
+                     else "call")
+            self.allocs.append(AllocSite(
+                line=node.args[0].lineno, col=node.args[0].col_offset,
+                kind="comprehension",
+                detail=f"comprehension consumed by {label}(...)"))
+        self._maybe_open(node)
+
+    def _handle_binop(self, node: ast.BinOp, cold: bool) -> None:
+        if cold:
+            return
+        if isinstance(node.op, ast.Add):
+            for side in (node.left, node.right):
+                if ((isinstance(side, ast.Constant)
+                        and isinstance(side.value, str))
+                        or isinstance(side, ast.JoinedStr)):
+                    self.allocs.append(AllocSite(
+                        line=node.lineno, col=node.col_offset,
+                        kind="str-concat",
+                        detail="string concatenation per iteration"))
+                    return
+        if (isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)):
+            self.allocs.append(AllocSite(
+                line=node.lineno, col=node.col_offset, kind="str-format",
+                detail="'literal' % ... built per iteration"))
+
+    def _handle_display(self, node: ast.AST, cold: bool) -> None:
+        if cold:
+            return
+        if isinstance(node, ast.Dict):
+            elements = [e for e in node.keys if e is not None] + node.values
+        else:
+            elements = list(node.elts)  # type: ignore[attr-defined]
+        if elements and all(isinstance(e, ast.Constant) for e in elements):
+            self.allocs.append(AllocSite(
+                line=node.lineno,  # type: ignore[attr-defined]
+                col=node.col_offset,  # type: ignore[attr-defined]
+                kind="const-display",
+                detail="all-constant container display rebuilt per "
+                       "iteration (hoist to a module constant)"))
+
+    # -- open() -------------------------------------------------------------
+
+    def _maybe_open(self, node: ast.Call) -> None:
+        dotted = resolve_call_target(node.func, self.aliases)
+        if dotted not in {"open", "io.open"}:
+            return
+        mode_arg: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode_arg = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode_arg = keyword.value
+        if mode_arg is None:
+            return          # default "r": reads never corrupt a checkpoint
+        if isinstance(mode_arg, ast.Constant) and isinstance(
+                mode_arg.value, str):
+            mode = mode_arg.value
+            if not any(flag in mode for flag in "wax"):
+                return
+        else:
+            mode = "?"      # dynamic mode: conservatively a write
+        path_arg: Optional[ast.expr] = node.args[0] if node.args else None
+        if path_arg is None:
+            for keyword in node.keywords:
+                if keyword.arg == "file":
+                    path_arg = keyword.value
+        self.opens.append(OpenSite(
+            line=node.lineno, col=node.col_offset, mode=mode,
+            part=self._is_part_path(path_arg, seen=set())))
+
+    def _is_part_path(self, expr: Optional[ast.expr],
+                      seen: set[str]) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, str) and expr.value.endswith(
+                ".part")
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            return self._is_part_path(expr.right, seen)
+        if isinstance(expr, ast.JoinedStr) and expr.values:
+            tail = expr.values[-1]
+            return (isinstance(tail, ast.Constant)
+                    and isinstance(tail.value, str)
+                    and tail.value.endswith(".part"))
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in {"with_suffix", "with_name"}):
+            return any(self._is_part_path(arg, seen) for arg in expr.args)
+        if isinstance(expr, ast.Name) and expr.id not in seen:
+            seen.add(expr.id)
+            return self._is_part_path(self.assigns.get(expr.id), seen)
+        return False
+
+    # -- result -------------------------------------------------------------
+
+    def facts(self) -> BoundedFacts:
+        growth: list[GrowthSite] = []
+        for site, depth in self.growth_raw:
+            if site.category == "local":
+                # A plain function's locals die with the frame (one
+                # platform's world state); only a generator's frame is
+                # suspended across the row stream.  The accumulator must
+                # be bound outside the loop that grows it.
+                root = site.receiver.split(".")[0].split("[")[0]
+                if not (self.is_generator and depth >= 1
+                        and root in self.top_bindings):
+                    continue
+            growth.append(site)
+        return BoundedFacts(
+            growth=tuple(sorted(set(growth))),
+            allocs=tuple(sorted(set(self.allocs))),
+            opens=tuple(sorted(set(self.opens))),
+            is_generator=self.is_generator,
+            renames=self.renames,
+        )
+
+
+def extract_bounded_facts(func: ast.AST,
+                          aliases: dict[str, str]) -> BoundedFacts:
+    """The cdebound facts of one function's own body."""
+    return _Walker(func, aliases).facts()

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 from .cache import DEFAULT_CACHE_DIR
 from .config import LintConfig, find_pyproject
 from .engine import run_lint
+from .findings import LintReport
 from .fix import FIXABLE_RULES, apply_fixes, plan_fixes, render_diff
 from .registry import all_rules
 from .sarif import to_sarif
@@ -97,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--warn-unused-suppressions", action="store_true",
         help="flag suppression comments that waived no finding (CDE014)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a per-rule timing breakdown to stderr after the run "
+             "(stdout report stays byte-identical)",
     )
     return parser
 
@@ -184,6 +190,25 @@ def _git_changed_rels() -> frozenset[str]:
     return frozenset(rels)
 
 
+def _print_stats(report: LintReport) -> None:
+    """Per-rule timing breakdown (``--stats``), slowest first, to stderr.
+
+    Stderr so the stdout report — human, ``--json`` or ``--format
+    sarif`` — stays byte-identical with and without the flag; CI's
+    cold/warm identity check composes with ``--stats`` for free.
+    """
+    timings = report.rule_timings
+    total = sum(timings.values())
+    print("cdelint --stats: per-rule analysis time "
+          f"({report.files_checked} file(s))", file=sys.stderr)
+    ranked = sorted(timings.items(), key=lambda kv: (-kv[1], kv[0]))
+    for rule_id, seconds in ranked:
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {rule_id:<8} {seconds * 1000.0:9.2f} ms  {share:5.1f}%",
+              file=sys.stderr)
+    print(f"  {'total':<8} {total * 1000.0:9.2f} ms", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -235,4 +260,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{len(report.changed_scope)} file(s) in the dirty "
                   f"subgraph")
         print(report.render_human())
+    if args.stats:
+        _print_stats(report)
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS

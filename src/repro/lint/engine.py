@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
@@ -180,6 +181,10 @@ def run_lint(paths: Sequence[Path | str],
         ",".join(rule.rule_id for rule in rules),
     ))
     findings: list[Finding] = []
+    #: Seconds spent inside each rule's checkers (``--stats``).  Uses
+    #: time.perf_counter, the sanctioned elapsed-time sampler (CDE001):
+    #: timings never feed back into findings or the committed baseline.
+    rule_timings: dict[str, float] = {rule.rule_id: 0.0 for rule in rules}
     #: Suppression tokens that waived at least one finding, per rel path —
     #: the complement feeds the CDE014 unused-suppression audit.
     used_keys: dict[str, set[SuppressionKey]] = {}
@@ -203,7 +208,10 @@ def run_lint(paths: Sequence[Path | str],
         fresh: list[Finding] = []
         entry_used = used_keys.setdefault(entry.rel, set())
         for rule in rules:
-            for finding in rule.check_module(entry.module, ctx):
+            tick = time.perf_counter()
+            module_findings = list(rule.check_module(entry.module, ctx))
+            rule_timings[rule.rule_id] += time.perf_counter() - tick
+            for finding in module_findings:
                 hits = suppression_hits(
                     entry.module.line_suppressions,
                     entry.module.file_suppressions,
@@ -232,7 +240,10 @@ def run_lint(paths: Sequence[Path | str],
             sync_key = sync_digest(summaries, config)
             ctx.cached_sync = cache.lookup_sync(sync_key)
     for rule in rules:
-        for finding in rule.check_project(ctx):
+        tick = time.perf_counter()
+        project_findings = list(rule.check_project(ctx))
+        rule_timings[rule.rule_id] += time.perf_counter() - tick
+        for finding in project_findings:
             summary = summaries.get(finding.path)
             if summary is not None:
                 hits = suppression_hits(
@@ -250,9 +261,14 @@ def run_lint(paths: Sequence[Path | str],
         cache.save()
 
     if audit_unused:
+        tick = time.perf_counter()
         findings.extend(_audit_suppressions(entries, used_keys, rules_run))
+        rule_timings[UNUSED_SUPPRESSION_RULE] = (
+            rule_timings.get(UNUSED_SUPPRESSION_RULE, 0.0)
+            + time.perf_counter() - tick)
 
     report.findings = sorted(set(findings))
+    report.rule_timings = rule_timings
     report.reanalyzed_files = tuple(sorted(parsed))
     report.effects_recomputed = (tuple(ctx._effects.recomputed)
                                  if ctx._effects is not None else ())

@@ -58,6 +58,11 @@ class LintReport:
     reanalyzed_files: tuple[str, ...] = ()
     #: Call-graph node keys whose effect signatures were re-propagated.
     effects_recomputed: tuple[str, ...] = ()
+    #: Seconds spent inside each rule's checkers this run (plus the
+    #: engine-implemented CDE014 audit when it ran).  Wall-time and
+    #: cache-temperature dependent, so — like reanalyzed_files — it is
+    #: deliberately NOT part of to_json(); ``--stats`` prints it.
+    rule_timings: dict[str, float] = field(default_factory=dict)
     #: When --changed mode filtered the report: the rel paths kept (the
     #: dirty files plus their dirty-subgraph dependents).  Diagnostic,
     #: not part of to_json() for the same reason as reanalyzed_files.

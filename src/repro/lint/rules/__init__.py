@@ -6,9 +6,12 @@ determinism invariant it protects (full rationale: docs/STATIC_ANALYSIS.md).
 """
 
 from . import (  # noqa: F401
+    bounded_accumulation,
     capture_safety,
+    checkpoint_durability,
     effects_contract,
     error_provenance,
+    hot_loop_allocation,
     iteration,
     layering,
     mutable_defaults,

@@ -1,0 +1,117 @@
+"""CDE017: streaming paths must not accumulate per-row state.
+
+PR 8's streaming census holds its memory ceiling *constant* in census
+size: rows flow engine → fold → chunked writer and nothing on that path
+may grow with the row count.  Until now the only guard was a runtime
+tracemalloc gate in a slow-marked test — one careless ``rows.append`` on
+a streaming path silently reverts the repo to O(census) memory until the
+next full bench run.  This rule is the static version of that gate.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+
+
+def parse_bounded_allow(
+    entries: tuple[str, ...],
+) -> tuple[tuple[str, str], ...]:
+    """``pattern=justification`` entries as (pattern, justification)."""
+    parsed: list[tuple[str, str]] = []
+    for entry in entries:
+        pattern, _, justification = entry.partition("=")
+        parsed.append((pattern.strip(), justification.strip()))
+    return tuple(parsed)
+
+
+def match_bounded_allow(site_key: str,
+                        allow: tuple[tuple[str, str], ...]) -> Optional[str]:
+    """The justification of the first carve-out covering ``site_key``.
+
+    Patterns float (an implied leading ``*``), mirroring the suffix
+    semantics every other path knob uses, so one table works for
+    relative and absolute lint roots alike.
+    """
+    for pattern, justification in allow:
+        if fnmatchcase(site_key, pattern) or fnmatchcase(
+                site_key, "*" + pattern):
+            return justification or "(no justification recorded)"
+    return None
+
+
+@register
+class BoundedAccumulationRule(Rule):
+    """Nothing reachable from a streaming entry may grow per row.
+
+    **Rationale.**  The streaming census pipeline
+    (``PipelinedEngine.stream`` → ``stream_parallel_measurement`` →
+    ``run_census`` → ``CensusWriter``) promises O(1) memory in census
+    size; that is what makes the paper's internet-scale enumeration
+    reachable at all.  A container that gains an element per measured
+    row — an ``append`` on a long-lived list, a ``setdefault`` on a
+    per-row-keyed dict — breaks the ceiling while every test still
+    passes, because small censuses never notice.
+
+    The receiver's *root* decides whether the container outlives the
+    per-row loop: parameter- and ``self``-rooted containers belong to a
+    caller, free names live for the process, and a generator's own
+    locals survive suspension across the stream.  Plain-function locals
+    die with the frame (one platform's world state) and are exempt by
+    construction.
+
+    **Example (bad).** ::
+
+        def _stream(engine):
+            rows = []
+            for position, row in engine.stream():
+                rows.append(row)        # grows with the census
+                yield position, row
+
+    **Fix guidance.**  Keep per-row state on the row itself, drain
+    buffers every turn (``ShardLane.drain_rows``), or spill to disk
+    (``_run_shard_spill``).  If the growth is genuinely bounded — a ring
+    buffer, a fixed label set, a buffer flushed every chunk — record the
+    bound as a ``[tool.cdelint] bounded-allow`` entry
+    (``pattern=justification`` matched against
+    ``path::qualname::receiver``); unjustified carve-outs are a review
+    smell by design.  Entry points are configured as ``stream-entries``.
+    """
+
+    rule_id = "CDE017"
+    name = "unbounded-accumulation"
+    summary = ("container growth reachable from a streaming entry point "
+               "must be justified by a bound (bounded-allow) or removed")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = ctx.graph
+        entries = [key for spec in ctx.config.stream_entries
+                   for key in graph.resolve_entry(spec)]
+        chains = graph.reachable_with_chains(entries)
+        allow = parse_bounded_allow(ctx.config.bounded_allow)
+        for key in sorted(chains):
+            node = graph.nodes[key]
+            summary = node.summary
+            for site in summary.growth:
+                site_key = f"{node.rel}::{node.qualname}::{site.receiver}"
+                if match_bounded_allow(site_key, allow) is not None:
+                    continue
+                chain = " -> ".join(chains[key])
+                holder = {
+                    "param": "a caller-owned container",
+                    "global": "a process-lifetime container",
+                    "local": "a generator-held container",
+                    "escape": "a container of unknown ownership",
+                }[site.category]
+                yield self.finding_at(
+                    node.rel, site.line, site.col,
+                    f"unbounded accumulation: '{site.receiver}.{site.op}' "
+                    f"grows {holder} on the streaming path (reached via "
+                    f"{chain}) — bound it, drain it per turn, or record "
+                    f"the bound as a [tool.cdelint] bounded-allow entry "
+                    f"for '{site_key}'",
+                    symbol=node.qualname,
+                )

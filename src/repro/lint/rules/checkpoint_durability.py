@@ -1,0 +1,82 @@
+"""CDE019: export writes must stay crash-atomic (.part then rename).
+
+``census --resume`` replays the deterministic stream and skips rows the
+manifest records as durable.  That contract only holds if no reader can
+ever observe a half-written chunk or manifest: every file is staged to a
+``.part`` name and published with an atomic ``os.replace``.  This rule
+pins the pattern so a future export path cannot quietly regress resume
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+
+
+@register
+class CheckpointDurabilityRule(Rule):
+    """Every export-path write follows ``.part``-then-rename.
+
+    **Rationale.**  A crash (or the census's own ``--max-rss-mb`` guard)
+    can interrupt an export at any byte.  ``CensusWriter`` established
+    the invariant that the directory then still holds only complete,
+    manifest-recorded chunks: writes go to ``<name>.part`` and are
+    published with ``os.replace``, so resume can trust everything it
+    finds.  A direct ``open(path, "w")`` on that path would leave a torn
+    file that resume either re-reads as corrupt or — worse — silently
+    double-counts.
+
+    **Example (bad).** ::
+
+        def _flush_chunk(self):
+            with open(self.path, "wb") as handle:   # torn on crash
+                handle.write(blob)
+
+    **Example (good).** ::
+
+        part = path + ".part"
+        with open(part, "wb") as handle:
+            handle.write(blob)
+        os.replace(part, path)                      # atomic publish
+
+    **Fix guidance.**  Stage to a ``.part`` sibling and publish with
+    ``os.replace`` (same filesystem, atomic on POSIX); delete stray
+    ``.part`` files on startup like ``CensusWriter._clear_directory``
+    does.  Read-mode opens are exempt.  Export entry points are
+    configured as ``[tool.cdelint] export-entries``.
+    """
+
+    rule_id = "CDE019"
+    name = "checkpoint-durability"
+    summary = ("write-mode open() reachable from an export entry must "
+               "stage to .part and publish with an atomic rename")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = ctx.graph
+        entries = [key for spec in ctx.config.export_entries
+                   for key in graph.resolve_entry(spec)]
+        chains = graph.reachable_with_chains(entries)
+        for key in sorted(chains):
+            node = graph.nodes[key]
+            summary = node.summary
+            for site in summary.opens:
+                if site.part and summary.renames:
+                    continue
+                chain = " -> ".join(chains[key])
+                if not site.part:
+                    reason = ("writes the final path directly instead of "
+                              "staging to a '.part' sibling")
+                else:
+                    reason = ("stages to '.part' but never publishes it "
+                              "with os.replace/os.rename")
+                yield self.finding_at(
+                    node.rel, site.line, site.col,
+                    f"non-atomic checkpoint write: open(..., "
+                    f"{site.mode!r}) in {node.qualname} (reached via "
+                    f"{chain}) {reason} — a crash here corrupts the "
+                    f"resume contract",
+                    symbol=node.qualname,
+                )

@@ -1610,7 +1610,8 @@ def _fused_upstream_slow(plan: _FastPlan, cache: DnsCache, cache_index: int,
             if address_entry is not None and \
                     address_entry.kind == EntryKind.POSITIVE:
                 assert address_entry.rrset is not None
-                ips.extend(r.rdata.address for r in address_entry.rrset)  # type: ignore[attr-defined]
+                for a_record in address_entry.rrset:
+                    ips.append(a_record.rdata.address)  # type: ignore[attr-defined]
         if ips:
             authority_ips = ips
             break
@@ -1651,8 +1652,9 @@ def _fused_upstream_slow(plan: _FastPlan, cache: DnsCache, cache_index: int,
             if address_entry2 is not None and \
                     address_entry2.kind == EntryKind.POSITIVE:
                 assert address_entry2.rrset is not None
-                walk_ips.extend(
-                    r.rdata.address for r in address_entry2.rrset)  # type: ignore[attr-defined]
+                for a_record2 in address_entry2.rrset:
+                    walk_ips.append(
+                        a_record2.rdata.address)  # type: ignore[attr-defined]
                 walk_a_entry = address_entry2
                 walk_a_entries += 1
         if walk_ips:
@@ -1737,10 +1739,13 @@ def _fused_upstream_slow(plan: _FastPlan, cache: DnsCache, cache_index: int,
                 ResourceRecord(qname, record.rtype, record.ttl,
                                record.rdata, record.rclass)
                 for record in wset.records]:
+            min_ttl = wset.records[0].ttl
+            for record in wset.records:
+                if record.ttl < min_ttl:
+                    min_ttl = record.ttl
             plan.zone = zone
             plan.template = (wkey, wset, len(wset.records),
-                             tuple(wset.records),
-                             min(record.ttl for record in wset.records))
+                             tuple(wset.records), min_ttl)
     return True
 
 

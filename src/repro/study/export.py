@@ -243,11 +243,22 @@ class CensusWriter:
                 f"cannot resume manifest version {manifest.get('version')!r}")
         if manifest.get("complete"):
             raise ValueError("census already complete; nothing to resume")
-        if self.meta and manifest.get("meta") != self.meta:
+        recorded_meta = dict(manifest.get("meta") or {})
+        if self.meta and recorded_meta != self.meta:
+            differing = []
+            for key in sorted(set(recorded_meta) | set(self.meta)):
+                if (key in recorded_meta and key in self.meta
+                        and recorded_meta[key] == self.meta[key]):
+                    continue
+                on_disk = (repr(recorded_meta[key])
+                           if key in recorded_meta else "<absent>")
+                requested = (repr(self.meta[key])
+                             if key in self.meta else "<absent>")
+                differing.append(
+                    f"{key}: manifest {on_disk} != requested {requested}")
             raise ValueError(
                 "resume meta mismatch: the checkpoint was written by a "
-                f"different census ({manifest.get('meta')!r} != "
-                f"{self.meta!r})")
+                f"different census — {'; '.join(differing)}")
         self.meta = dict(manifest.get("meta") or {})
         self.chunk_size = int(manifest["chunk_size"])
         self.chunks = list(manifest["chunks"])

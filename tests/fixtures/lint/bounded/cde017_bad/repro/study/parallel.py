@@ -1,0 +1,25 @@
+"""CDE017 fixture: containers that grow with census size on the stream.
+
+``stream_parallel_measurement`` suffix-matches a default stream entry, so
+everything reachable from it is on the streaming path.  Both growth sites
+here accumulate one element per row for the life of the census: one into
+a caller-owned list, one into a local of a *generator* (whose frame is
+suspended across the whole stream).
+"""
+
+from typing import Iterator
+
+
+def stream_parallel_measurement(specs: list[str]) -> Iterator[dict[str, str]]:
+    history: list[dict[str, str]] = []
+    yield from _stream(specs, history)
+
+
+def _stream(specs: list[str],
+            history: list[dict[str, str]]) -> Iterator[dict[str, str]]:
+    seen: dict[str, dict[str, str]] = {}
+    for spec in specs:
+        row = {"spec": spec}
+        history.append(row)     # caller-owned: grows for the whole census
+        seen[spec] = row        # generator-held: survives every yield
+        yield row

@@ -1,0 +1,28 @@
+"""CDE017 fixture (good): growth that is bounded or frame-scoped.
+
+``_merge_spilled``'s cursor is real growth to the analysis, but the
+default ``bounded-allow`` table carves it out with a justified bound
+(fixed size, ``len == n_shards``) — the sanctioned way to keep a bounded
+accumulator on the streaming path.  ``_build_world``'s list is a plain
+function's local: it dies with the frame, so it is never recorded.
+"""
+
+from typing import Iterator
+
+
+def stream_parallel_measurement(specs: list[str]) -> Iterator[dict[str, str]]:
+    yield from _merge_spilled(specs)
+
+
+def _merge_spilled(specs: list[str]) -> Iterator[dict[str, str]]:
+    taken: list[int] = [0, 0, 0, 0]
+    for index, spec in enumerate(specs):
+        taken[index % 4] += 1
+        yield {"spec": spec}
+
+
+def _build_world(specs: list[str]) -> list[dict[str, str]]:
+    world: list[dict[str, str]] = []
+    for spec in specs:
+        world.append({"spec": spec})
+    return world

@@ -1,0 +1,31 @@
+"""CDE019 fixture: export writes that break the atomic checkpoint pattern.
+
+``CensusWriter.write_row``/``write_dict``/``close`` suffix-match the
+default export entries.  ``_flush_chunk`` writes the final path directly
+(torn file on crash); ``_write_manifest`` stages to ``.part`` but never
+publishes it with an atomic rename.
+"""
+
+
+class CensusWriter:
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def write_row(self, line: str) -> None:
+        self._flush_chunk(line)
+
+    def write_dict(self, line: str) -> None:
+        self._write_manifest(line)
+
+    def close(self) -> None:
+        self._flush_chunk("")
+
+    def _flush_chunk(self, line: str) -> None:
+        path = self.directory + "/chunk-000.ndjson"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def _write_manifest(self, line: str) -> None:
+        part = self.directory + "/manifest.json.part"
+        with open(part, "w", encoding="utf-8") as handle:
+            handle.write(line)

@@ -1,0 +1,29 @@
+"""CDE019 fixture (good): stage to ``.part``, publish with ``os.replace``.
+
+The writer never exposes a half-written file: bytes land on a ``.part``
+sibling and an atomic rename publishes the complete chunk, so a resume
+can trust everything it finds in the directory.
+"""
+
+import os
+
+
+class CensusWriter:
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def write_row(self, line: str) -> None:
+        self._flush_chunk(line)
+
+    def write_dict(self, line: str) -> None:
+        self._flush_chunk(line)
+
+    def close(self) -> None:
+        self._flush_chunk("")
+
+    def _flush_chunk(self, line: str) -> None:
+        path = self.directory + "/chunk-000.ndjson"
+        part = path + ".part"
+        with open(part, "w", encoding="utf-8") as handle:
+            handle.write(line)
+        os.replace(part, path)

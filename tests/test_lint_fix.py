@@ -92,4 +92,56 @@ def test_fix_skips_non_inferable_annotations(tmp_path):
 
 
 def test_fixable_rules_are_the_documented_subset():
-    assert FIXABLE_RULES == ("CDE003", "CDE005", "CDE006")
+    assert FIXABLE_RULES == ("CDE003", "CDE005", "CDE006", "CDE018")
+
+
+# ---------------------------------------------------------------------------
+# CDE018: hot-loop allocation fixes
+# ---------------------------------------------------------------------------
+
+def _hot_tree(tmp_path: Path, body: str) -> Path:
+    """A tmp tree whose one file suffix-matches the fused-corridor
+    hot-path specs (``repro/study/engine.py``)."""
+    tree = tmp_path / "repro" / "study"
+    tree.mkdir(parents=True)
+    (tree / "engine.py").write_text(body)
+    return tree / "engine.py"
+
+
+def test_cde018_fixes_constant_fstring_and_extend_genexp(tmp_path):
+    snippet = _hot_tree(
+        tmp_path,
+        "def _fused_probe(steps: list[str], rows: list[str]) -> str:\n"
+        "    label = ''\n"
+        "    for step in steps:\n"
+        "        label = f\"probe-direct\"\n"
+        "        rows.extend(s for s in steps if s)\n"
+        "    return label\n")
+    fixes = [f for f in plan_fixes([tmp_path]) if f.changed]
+    assert len(fixes) == 1
+    apply_fixes(fixes)
+    fixed = snippet.read_text()
+    assert "f\"" not in fixed and "'probe-direct'" in fixed
+    assert ".extend(" not in fixed
+    assert "for s in steps:" in fixed
+    assert "if s:" in fixed
+    assert "rows.append(s)" in fixed
+    # The rewrite removed its own findings and re-fixing is a no-op.
+    report = run_lint([tmp_path], select=["CDE018"])
+    assert report.findings == []
+    assert [f for f in plan_fixes([tmp_path]) if f.changed] == []
+
+
+def test_cde018_leaves_judgement_calls_for_the_human(tmp_path):
+    # A *formatting* f-string and an all-constant display both need a
+    # decision about where the hoisted value lives — no mechanical fix.
+    source = (
+        "def _fused_probe(steps: list[str]) -> int:\n"
+        "    hits = 0\n"
+        "    for step in steps:\n"
+        "        if step in {'direct', 'smtp'} or step == f'probe-{hits}':\n"
+        "            hits += 1\n"
+        "    return hits\n")
+    snippet = _hot_tree(tmp_path, source)
+    assert [f for f in plan_fixes([tmp_path]) if f.changed] == []
+    assert snippet.read_text() == source

@@ -1,0 +1,82 @@
+"""Windowed QueryLog accounting under real measurement traffic.
+
+:mod:`tests.test_querylog_index` proves the ring answers identically to a
+full log *within the window* on synthetic entries.  These tests drive the
+ring through the actual study machinery — real probe traffic arriving at
+the CDE nameserver — and pin the two contracts the streaming census
+relies on:
+
+* **Eviction accounting** — ``total_recorded`` keeps counting past
+  evictions, ``evicted`` is exactly the dead prefix, and the live length
+  never exceeds the window; a window above the probe horizon evicts
+  nothing and changes no measured answer.
+* **Fused fast-path gating** — :meth:`_FastPlan.build` declines a world
+  whose CDE log is windowed: the fused corridor records inline and does
+  not replicate ring eviction, so it must never run against a ring.
+"""
+
+from __future__ import annotations
+
+from repro.study.engine import _FastPlan
+from repro.study.export import report_to_dict
+from repro.study.internet import SimulatedInternet, WorldConfig
+from repro.study.population import generate_population
+
+SEED = 9
+CAPS = dict(max_ingress=2, max_caches=2, max_egress=2)
+
+
+def _spec():
+    return generate_population("open-resolvers", 1, seed=SEED, **CAPS)[0]
+
+
+def _studied_world(**config_overrides):
+    world = SimulatedInternet(WorldConfig(seed=SEED, **config_overrides))
+    hosted = world.add_platform_from_spec(_spec())
+    report = world.study(hosted)
+    return world, report
+
+
+class TestEvictionAccountingUnderStreaming:
+    def test_small_window_evicts_and_accounts(self):
+        world, _ = _studied_world(log_window=16)
+        log = world.cde.server.query_log
+        assert log.window == 16
+        assert len(log) <= 16
+        assert log.evicted > 0, "study traffic must overflow a 16-entry ring"
+        # The global counters partition every arrival: live + dead.
+        assert log.total_recorded == log.evicted + len(log)
+
+    def test_total_recorded_matches_unwindowed_log(self):
+        # Probe names are unique and log reads carry ``since`` cutoffs, so
+        # the same seeded study sends the same queries regardless of the
+        # window — total_recorded is a pure arrival count.
+        unwindowed, _ = _studied_world()
+        windowed, _ = _studied_world(log_window=16)
+        full = unwindowed.cde.server.query_log
+        ring = windowed.cde.server.query_log
+        assert full.evicted == 0
+        assert full.total_recorded == len(full)
+        assert ring.total_recorded == full.total_recorded
+
+    def test_window_above_horizon_evicts_nothing_and_changes_nothing(self):
+        unwindowed, baseline = _studied_world()
+        windowed, report = _studied_world(log_window=100_000)
+        log = windowed.cde.server.query_log
+        assert log.evicted == 0
+        assert len(log) == log.total_recorded
+        assert report_to_dict(report) == report_to_dict(baseline)
+
+
+class TestFusedFastPathGating:
+    def test_default_world_is_fuse_eligible(self):
+        # Guard assertion: the gating test below must flip a world that
+        # would otherwise take the fused corridor, not one already generic.
+        world = SimulatedInternet(WorldConfig(seed=SEED))
+        hosted = world.add_platform_from_spec(_spec())
+        assert _FastPlan.build(world, hosted) is not None
+
+    def test_windowed_log_gates_the_fused_path_off(self):
+        world = SimulatedInternet(WorldConfig(seed=SEED, log_window=64))
+        hosted = world.add_platform_from_spec(_spec())
+        assert _FastPlan.build(world, hosted) is None

@@ -134,6 +134,35 @@ class TestResume:
         parsed = list(read_census_rows(out, require_complete=True))
         assert len(parsed) == N_SPECS
 
+    def test_resume_meta_mismatch_names_the_differing_keys(self, tmp_path):
+        """The mismatch error pinpoints exactly what differs, per key.
+
+        An operator resuming with the wrong flags needs to know *which*
+        knob disagrees with the checkpoint — not eyeball two full meta
+        dicts.  Matching keys must stay out of the message.
+        """
+        out = os.path.join(str(tmp_path), "mismatch")
+        writer = CensusWriter(out, chunk_size=2, meta=CENSUS_META)
+        rows = stream_parallel_measurement(
+            _specs(), base_seed=SEED, n_shards=N_SHARDS, budget=FAST_BUDGET)
+        writer.write_row(next(iter(rows)))
+
+        requested = dict(CENSUS_META)
+        requested["seed"] = SEED + 1          # differing value
+        del requested["simulate"]             # key only in the manifest
+        requested["workers"] = 4              # key only in the request
+        resumer = CensusWriter(out, chunk_size=2, meta=requested,
+                               resume=True)
+        with pytest.raises(ValueError) as excinfo:
+            resumer.write_dict({"x": 1})
+        message = str(excinfo.value)
+        assert f"seed: manifest {SEED!r} != requested {SEED + 1!r}" in message
+        assert "simulate: manifest False != requested <absent>" in message
+        assert "workers: manifest <absent> != requested 4" in message
+        # Keys that agree are not noise in the error.
+        assert "population" not in message
+        assert "count" not in message
+
     def test_resume_rejects_completed_census(self, tmp_path):
         out = os.path.join(str(tmp_path), "done")
         run_census(specs=_specs(), seed=SEED, n_shards=N_SHARDS,
