@@ -1,0 +1,160 @@
+"""CDE020: components must declare what they do to source addresses.
+
+The CDE maps ingress identities to caches by *address*: who asked, who
+forwarded, which egress face queried the nameserver.  Transparent
+forwarders spoof-preserve the client's source; NATed pools and
+recursives rewrite it.  Both behaviours bias the count unless the
+measurement knows about them — so both must be declared, and the
+declaration must match the code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import path_matches_any
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+from ..topo import (COMPONENT_ATTRS, COMPONENT_ROLES, effective_contract,
+                    owning_class, parse_component_table)
+
+#: What each site kind does, for undeclared-component messages.
+_ACTIONS = {
+    "spoof-forward": "spoof-preserves a client source address into an "
+                     "upstream send",
+    "rewrite-forward": "rewrites the upstream source address to its own "
+                       "identity",
+    "log-source": "records a received source address into a query log",
+    "log-rewrite": "records a rewritten source address into a query log",
+}
+
+
+@register
+class AddressProvenanceRule(Rule):
+    """Address rewrites and spoof-preserves must carry a matching contract.
+
+    **Rationale.**  Every CDE technique (paper §IV) infers cache
+    topology from addresses: the client address a platform sees selects
+    the cache, the egress address a nameserver sees identifies the
+    platform.  A component that forwards the client's source address
+    upstream unchanged (a *transparent forwarder* — ~26% of open DNS
+    speakers) or substitutes its own identity (recursives, NAT pools)
+    changes what both ends observe.  Building such components without
+    declaring them turns every census row they touch into a silent bias.
+
+    Components declare contracts with ``# cdelint:
+    component=<role>(attrs)`` on the class (roles: ``recursive``,
+    ``forwarder``, ``transparent-forwarder``, ``frontend``,
+    ``nat-pool``, ``anycast-ingress``, ``authoritative``, ``client``,
+    ``cache``), or a ``[tool.cdelint] components`` table entry
+    (``ClassName=role(attrs)``).  This rule proves, for every class in
+    ``component-paths``:
+
+    * a spoof-preserved source (a parameter flowing into an upstream
+      ``query`` send) requires the ``transparent-forwarder`` role or the
+      ``spoofs-source`` attribute;
+    * a rewritten source (a ``self``-rooted address in the send)
+      requires ``rewrites-source``;
+    * a received source address recorded into a ``*LogEntry`` requires
+      ``logs-source``, and a *rewritten* address must never reach a
+      query log — the measurement plane needs the wire source;
+    * unknown roles/attributes and undeclared classes with address
+      behaviour are findings.
+
+    **Example (bad).** ::
+
+        class Relay:                          # no component marker
+            def handle_message(self, message, src_ip, network):
+                return network.query(src_ip, self.upstream_ip, message)
+
+    **Fix guidance.**  Declare the class (``# cdelint:
+    component=transparent-forwarder(spoofs-source)``) directly above or
+    on its ``class`` line, or add a ``components`` table entry.  Every
+    finding carries a def-use witness chain (``name@line`` hops) from
+    the address origin to the send or log sink.
+    """
+
+    rule_id = "CDE020"
+    name = "address-provenance"
+    summary = ("components that rewrite or spoof-preserve source addresses "
+               "must declare the matching role attribute")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        table = parse_component_table(ctx.config.components)
+        for rel in sorted(ctx.summaries):
+            if not path_matches_any(rel, ctx.config.component_paths):
+                continue
+            summary = ctx.summaries[rel]
+            components = summary.components
+            for name in sorted(components):
+                decl = components[name]
+                role, attrs = effective_contract(decl, table)
+                if role and role not in COMPONENT_ROLES:
+                    yield self.finding_at(
+                        rel, decl.line, 0,
+                        f"unknown component role '{role}' on '{name}' "
+                        f"(known: {', '.join(sorted(COMPONENT_ROLES))})",
+                        symbol=name)
+                for attr in attrs:
+                    if attr not in COMPONENT_ATTRS:
+                        yield self.finding_at(
+                            rel, decl.line, 0,
+                            f"unknown component attribute '{attr}' on "
+                            f"'{name}' (known: "
+                            f"{', '.join(sorted(COMPONENT_ATTRS))})",
+                            symbol=name)
+            for func in summary.functions:
+                owner = owning_class(func.qualname, components)
+                if owner is None:
+                    continue
+                role, attrs = effective_contract(components[owner], table)
+                for site in func.addr:
+                    if site.kind not in _ACTIONS:
+                        continue    # register sites carry no contract
+                    witness = " -> ".join(site.hops)
+                    if not role:
+                        yield self.finding_at(
+                            rel, site.line, site.col,
+                            f"undeclared component: '{owner}' "
+                            f"{_ACTIONS[site.kind]} (witness: {witness}) "
+                            f"— declare it with '# cdelint: "
+                            f"component=<role>(<attrs>)' or a "
+                            f"[tool.cdelint] components entry",
+                            symbol=func.qualname)
+                        continue
+                    if site.kind == "spoof-forward" and not (
+                            role == "transparent-forwarder"
+                            or "spoofs-source" in attrs):
+                        yield self.finding_at(
+                            rel, site.line, site.col,
+                            f"component '{owner}' ({role}) spoof-preserves "
+                            f"'{site.src}' into an upstream send without "
+                            f"the transparent-forwarder role or the "
+                            f"spoofs-source attribute (witness: {witness})",
+                            symbol=func.qualname)
+                    elif site.kind == "rewrite-forward" and (
+                            "rewrites-source" not in attrs):
+                        yield self.finding_at(
+                            rel, site.line, site.col,
+                            f"component '{owner}' ({role}) rewrites the "
+                            f"upstream source to '{site.src}' without the "
+                            f"rewrites-source attribute "
+                            f"(witness: {witness})",
+                            symbol=func.qualname)
+                    elif site.kind == "log-source" and (
+                            "logs-source" not in attrs):
+                        yield self.finding_at(
+                            rel, site.line, site.col,
+                            f"component '{owner}' ({role}) records "
+                            f"'{site.src}' into {site.dest} without the "
+                            f"logs-source attribute (witness: {witness})",
+                            symbol=func.qualname)
+                    elif site.kind == "log-rewrite":
+                        yield self.finding_at(
+                            rel, site.line, site.col,
+                            f"component '{owner}' ({role}) writes its own "
+                            f"rewritten address '{site.src}' into "
+                            f"{site.dest} — measurement logs must record "
+                            f"the wire source address "
+                            f"(witness: {witness})",
+                            symbol=func.qualname)

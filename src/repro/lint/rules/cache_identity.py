@@ -1,0 +1,132 @@
+"""CDE021: one cache object must map to one declared ingress identity.
+
+Cache enumeration (paper §IV-B) counts caches by probing through ingress
+addresses and clustering the answers.  If two ingress identities are
+wired to *the same cache object* — a shared ISP frontend cache, or an
+accidental aliasing bug in a world builder — the count collapses those
+identities silently.  The paper's techniques are blind to this by
+construction, so the sharing must be declared, never accidental.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import path_matches_any
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+from ..topo import effective_contract, owning_class, parse_component_table
+
+
+@register
+class CacheIdentityRule(Rule):
+    """Cache ownership and sharing must match the declared contract.
+
+    **Rationale.**  The ingress→cache mapping is the CDE's ground
+    truth: every count the reproduction reports assumes each probed
+    identity reaches the caches the component graph says it reaches.
+    This rule proves three things for every class in
+    ``component-paths``:
+
+    * a class that binds a cache object to ``self`` (``self.cache =
+      ...``, ``self.caches = self._build_caches(...)``) must carry the
+      ``owns-cache`` attribute — cache ownership is part of the
+      component contract, not an implementation detail;
+    * a class that registers *many* ingress addresses for one instance
+      (``network.register_many(ips, self, ...)``) while owning caches
+      collapses all those identities onto one cache set — allowed only
+      for a declared ``frontend`` or a ``shared-cache`` component
+      (``ResolutionPlatform`` declares ``shared-cache``: its ingress
+      faces genuinely share the platform's cache pool, and the paper's
+      techniques measure exactly that);
+    * one cache value passed into two component constructions in the
+      same builder (``Forwarder(cache=shared)`` twice) aliases one
+      cache across two identities — reported once, at the second
+      construction site.
+
+    **Example (bad).** ::
+
+        shared = DnsCache(cache_id="shared", capacity=64, max_ttl=60)
+        a = ForwardingResolver("a", ip_a, [up], net, cache=shared)
+        b = ForwardingResolver("b", ip_b, [up], net, cache=shared)
+
+    **Fix guidance.**  Give each identity its own cache, or declare the
+    owner ``frontend``/``shared-cache`` so the ground-truth tables and
+    the accuracy scoring know the identities collapse.  Add
+    ``owns-cache`` to any component that holds a cache.
+    """
+
+    rule_id = "CDE021"
+    name = "cache-identity"
+    summary = ("two ingress identities must not share one cache object "
+               "unless the owner is declared frontend/shared-cache")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        table = parse_component_table(ctx.config.components)
+        for rel in sorted(ctx.summaries):
+            if not path_matches_any(rel, ctx.config.component_paths):
+                continue
+            summary = ctx.summaries[rel]
+            components = summary.components
+            by_class: dict[str, list] = {name: [] for name in components}
+            for func in summary.functions:
+                owner = owning_class(func.qualname, components)
+                if owner is not None:
+                    by_class[owner].append(func)
+            for name in sorted(components):
+                funcs = by_class[name]
+                role, attrs = effective_contract(components[name], table)
+                own_sites = [site for func in funcs
+                             for site in func.caches if site.kind == "own"]
+                register_many = [site for func in funcs
+                                 for site in func.addr
+                                 if site.kind == "register-many"]
+                for site in own_sites:
+                    if "owns-cache" in attrs:
+                        continue
+                    contract = (f"role '{role}'" if role
+                                else "no component declaration")
+                    yield self.finding_at(
+                        rel, site.line, site.col,
+                        f"component '{name}' owns a cache "
+                        f"('{site.attr} = {site.value}') but carries "
+                        f"{contract} without the owns-cache attribute",
+                        symbol=name)
+                if own_sites and register_many and role != "frontend" \
+                        and "shared-cache" not in attrs:
+                    site = sorted(register_many)[0]
+                    yield self.finding_at(
+                        rel, site.line, site.col,
+                        f"component '{name}' registers many ingress "
+                        f"identities for one instance while owning "
+                        f"caches ({', '.join(sorted(s.attr for s in own_sites))}) "
+                        f"— the identities share one cache set; declare "
+                        f"the component frontend or shared-cache",
+                        symbol=name)
+            # Aliasing: one cache value feeding two constructions in one
+            # function collapses two identities onto one cache object.
+            for func in summary.functions:
+                owner = owning_class(func.qualname, components)
+                if owner is not None:
+                    role, attrs = effective_contract(
+                        components[owner], table)
+                    if role == "frontend" or "shared-cache" in attrs:
+                        continue
+                by_value: dict[str, list] = {}
+                for site in func.caches:
+                    if site.kind == "pass":
+                        by_value.setdefault(site.value, []).append(site)
+                for value in sorted(by_value):
+                    sites = sorted(by_value[value])
+                    if len(sites) < 2:
+                        continue
+                    second = sites[1]
+                    yield self.finding_at(
+                        rel, second.line, second.col,
+                        f"cache object '{value}' is passed into "
+                        f"{len(sites)} component constructions in "
+                        f"'{func.qualname}' — two ingress identities "
+                        f"would share one cache; give each its own "
+                        f"cache or declare the owner frontend/"
+                        f"shared-cache",
+                        symbol=func.qualname)

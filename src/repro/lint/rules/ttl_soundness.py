@@ -1,0 +1,76 @@
+"""CDE022: stored TTLs only ever count down.
+
+The CDE's cache-discovery probes (paper §IV) infer hit/miss — and from
+it cache identity — from the TTL a cache serves: a hit returns the
+stored TTL *decremented* by the entry's age.  Cache or policy code that
+extends a stored TTL (a grace-period ``ttl += grace``, a ``max()`` fold
+that can raise the remaining lifetime, a configured rewrite) makes a
+stale entry look fresh and silently mis-classifies probes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import path_matches_any
+from ..findings import Finding
+from ..registry import ProjectContext, Rule, register
+
+
+@register
+class TtlSoundnessRule(Rule):
+    """TTL arithmetic in cache/resolver code must be decrement-only.
+
+    **Rationale.**  Every enumeration technique the reproduction
+    implements reads TTLs as a clock that runs *down*: ``remaining =
+    stored - age``.  The moment policy code can move a TTL up —
+    serve-stale grace windows, refresh-on-read ``max()`` folds,
+    configured rewrites — the observed TTL stops identifying the entry
+    that produced it, and cache counting drifts with no failing test.
+    This rule proves, per site in ``ttl-paths``:
+
+    * no augmented ``+=``/``*=`` on a TTL-ish target (``*ttl*``,
+      ``*expires*``);
+    * no assignment whose right side additively references the target
+      or folds it through ``max(...)``;
+    * no ``with_ttl(...)`` rewrite to a constant or a ``self``-configured
+      value (clamps computed from the record's own TTL stay clean).
+
+    **Example (bad).** ::
+
+        entry.ttl += grace_period          # serve-stale: TTL goes up
+        cache.ttl = max(cache.ttl, floor)  # refresh fold
+
+    **Fix guidance.**  Compute remaining lifetime by subtraction from
+    the stored expiry (``max(0, int(expires_at - now))`` counts *down*
+    and stays clean) and clamp only at insertion time.  The deliberate
+    misbehaviour model (``resolver/misbehaving.py``) documents its TTL
+    rewrite with a justified line suppression — that is the one
+    sanctioned exception, and the CDE014 audit keeps it honest.
+    """
+
+    rule_id = "CDE022"
+    name = "ttl-soundness"
+    summary = ("cache/policy code must never extend a stored TTL "
+               "(decrement-only arithmetic, proven per site)")
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for rel in sorted(ctx.summaries):
+            if not path_matches_any(rel, ctx.config.ttl_paths):
+                continue
+            summary = ctx.summaries[rel]
+            for func in summary.functions:
+                for site in func.ttls:
+                    if site.kind == "extend":
+                        message = (
+                            f"TTL arithmetic may extend a stored TTL: "
+                            f"'{site.target}' via {site.detail} — cache "
+                            f"TTLs must only count down")
+                    else:
+                        message = (
+                            f"stored TTL rewritten via with_ttl "
+                            f"({site.detail}) — honest caches serve the "
+                            f"decremented TTL; deliberate misbehaviour "
+                            f"needs a justified suppression")
+                    yield self.finding_at(rel, site.line, site.col,
+                                          message, symbol=func.qualname)

@@ -42,6 +42,7 @@ class Misbehavior:
                     self.rewrite_ttl_to is not None)
 
 
+# cdelint: component=forwarder(rewrites-source)
 class MisbehavingResolver:
     """A resolver front that tampers with its upstream's answers."""
 
@@ -88,8 +89,11 @@ class MisbehavingResolver:
                 query.qname, self.misbehavior.hijack_nxdomain_to)])
             tampered = True
         if self.misbehavior.rewrite_ttl_to is not None and response.answers:
+            # Deliberate §VI misbehaviour: this resolver exists to serve
+            # the wrong TTL, which is exactly what CDE022 forbids honest
+            # cache code to do.
             response.answers = [
-                record.with_ttl(self.misbehavior.rewrite_ttl_to)
+                record.with_ttl(self.misbehavior.rewrite_ttl_to)  # cdelint: disable=CDE022
                 for record in response.answers
             ]
             tampered = True

@@ -52,6 +52,7 @@ class MultiPoolConfig:
             seen.update(pool.ingress_ips)
 
 
+# cdelint: component=anycast-ingress
 class MultiPoolPlatform:
     """Several cache pools behind one logical service."""
 

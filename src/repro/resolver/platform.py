@@ -101,6 +101,7 @@ class PlatformStats:
     prefetches: int = 0
 
 
+# cdelint: component=recursive(rewrites-source, owns-cache, shared-cache)
 class ResolutionPlatform:
     """A multi-cache recursive resolution service."""
 
@@ -386,6 +387,7 @@ class ResolutionPlatform:
                 f"egress={len(self.config.egress_ips)})")
 
 
+# cdelint: component=nat-pool
 class _EgressStub:
     """Placeholder endpoint registered at egress-only addresses.
 

@@ -1,0 +1,33 @@
+"""CDE020 bad: address-handling components with no declared contract.
+
+``BareRelay`` spoof-preserves the client's source address and
+``BareRewriter`` substitutes its own — both without a
+``# cdelint: component=`` marker, so provenance is undeclared.
+"""
+
+
+class BareRelay:
+    """Forwards the client's own source address upstream, undeclared."""
+
+    def __init__(self, listen_ip, upstream_ip, network):
+        self.listen_ip = listen_ip
+        self.upstream_ip = upstream_ip
+        self.network = network
+
+    def handle_message(self, message, src_ip, network):
+        transaction = network.query(src_ip, self.upstream_ip, message)
+        return transaction.response
+
+
+class BareRewriter:
+    """Rewrites the source address to its own listen IP, undeclared."""
+
+    def __init__(self, listen_ip, upstream_ip, network):
+        self.listen_ip = listen_ip
+        self.upstream_ip = upstream_ip
+        self.network = network
+
+    def forward(self, message, network):
+        transaction = network.query(self.listen_ip, self.upstream_ip,
+                                    message)
+        return transaction.response

@@ -1,0 +1,30 @@
+"""CDE020 good: the same relays with their contracts declared."""
+
+
+# cdelint: component=transparent-forwarder(spoofs-source)
+class DeclaredRelay:
+    """Forwards the client's own source address — and says so."""
+
+    def __init__(self, listen_ip, upstream_ip, network):
+        self.listen_ip = listen_ip
+        self.upstream_ip = upstream_ip
+        self.network = network
+
+    def handle_message(self, message, src_ip, network):
+        transaction = network.query(src_ip, self.upstream_ip, message)
+        return transaction.response
+
+
+# cdelint: component=forwarder(rewrites-source)
+class DeclaredRewriter:
+    """Rewrites the source address to its own listen IP — and says so."""
+
+    def __init__(self, listen_ip, upstream_ip, network):
+        self.listen_ip = listen_ip
+        self.upstream_ip = upstream_ip
+        self.network = network
+
+    def forward(self, message, network):
+        transaction = network.query(self.listen_ip, self.upstream_ip,
+                                    message)
+        return transaction.response

@@ -1,0 +1,35 @@
+"""CDE021 bad: undeclared cache ownership and cache aliasing.
+
+``CachingFront`` binds a cache to ``self`` without the ``owns-cache``
+attribute, and ``build_aliased_pair`` feeds one cache object into two
+component constructions — two ingress identities sharing one cache.
+"""
+
+
+class DnsCache:
+    """Stand-in cache type (the real one lives in repro.cache.cache)."""
+
+    def __init__(self, cache_id):
+        self.cache_id = cache_id
+
+
+# cdelint: component=forwarder(rewrites-source)
+class CachingFront:
+    """Declared forwarder that quietly owns a cache."""
+
+    def __init__(self, listen_ip, network, cache):
+        self.listen_ip = listen_ip
+        self.network = network
+        self.cache = cache
+
+    def forward(self, message, network):
+        transaction = network.query(self.listen_ip, self.upstream_ip,
+                                    message)
+        return transaction.response
+
+
+def build_aliased_pair(network):
+    shared_cache = DnsCache("shared")
+    first = CachingFront("10.0.0.1", network, shared_cache)
+    second = CachingFront("10.0.0.2", network, shared_cache)
+    return first, second

@@ -1,0 +1,31 @@
+"""CDE021 good: declared ownership, one cache per identity."""
+
+
+class DnsCache:
+    """Stand-in cache type (the real one lives in repro.cache.cache)."""
+
+    def __init__(self, cache_id):
+        self.cache_id = cache_id
+
+
+# cdelint: component=forwarder(rewrites-source, owns-cache)
+class HonestFront:
+    """Declared forwarder that declares its cache ownership too."""
+
+    def __init__(self, listen_ip, network, cache):
+        self.listen_ip = listen_ip
+        self.network = network
+        self.cache = cache
+
+    def forward(self, message, network):
+        transaction = network.query(self.listen_ip, self.upstream_ip,
+                                    message)
+        return transaction.response
+
+
+def build_distinct_pair(network):
+    first_cache = DnsCache("first")
+    second_cache = DnsCache("second")
+    first = HonestFront("10.0.0.1", network, first_cache)
+    second = HonestFront("10.0.0.2", network, second_cache)
+    return first, second

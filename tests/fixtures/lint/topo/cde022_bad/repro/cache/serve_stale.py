@@ -1,0 +1,22 @@
+"""CDE022 bad: TTL arithmetic that moves a stored TTL *up*.
+
+A serve-stale grace window and a refresh-on-read ``max()`` fold — both
+make a stale entry look fresh to the CDE's hit/miss classifier.
+"""
+
+
+class StaleServingEntry:
+    """Cache entry with a serve-stale grace period."""
+
+    def __init__(self, ttl, expires_at, grace):
+        self.ttl = ttl
+        self.expires_at = expires_at
+        self.grace = grace
+
+    def remaining(self, now):
+        ttl = int(self.expires_at - now)
+        ttl += self.grace
+        return max(0, ttl)
+
+    def refresh(self, floor):
+        self.ttl = max(self.ttl, floor)

@@ -1,0 +1,12 @@
+"""CDE022 good: decrement-only TTL arithmetic."""
+
+
+class HonestEntry:
+    """Cache entry whose TTL only ever counts down."""
+
+    def __init__(self, ttl, expires_at):
+        self.ttl = ttl
+        self.expires_at = expires_at
+
+    def remaining(self, now):
+        return max(0, int(self.expires_at - now))

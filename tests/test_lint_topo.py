@@ -1,0 +1,415 @@
+"""cdetopo (CDE020–CDE022): facts, contracts, mutations, determinism.
+
+Fixture-level behaviour (bad trees fire / good trees are clean / rule
+isolation) lives in test_lint_rules.py with the rest of the corpus.
+This file covers the machinery underneath — address-provenance,
+cache-identity and TTL fact extraction, component markers and the
+declaration table — plus the acceptance gate of the rule family:
+**mutation tests** that copy the real ``src/repro`` tree, reintroduce
+exactly the regression each rule exists to block, and assert it is
+caught with the expected witness, byte-identically at any cache
+temperature.  The ``--topology`` report and the ``--explain`` resolver
+are driven through the real CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.topo import (TOPOLOGY_SCHEMA_VERSION, effective_contract,
+                             extract_topo_facts, module_components,
+                             owning_class, parse_component_markers,
+                             parse_component_table)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+    )
+
+
+def _facts_of(source: str, name: str | None = None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [node for node in ast.walk(tree)
+             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    func = funcs[0] if name is None else next(
+        f for f in funcs if f.name == name)
+    return extract_topo_facts(func)
+
+
+# ---------------------------------------------------------------------------
+# fact extraction: address provenance
+# ---------------------------------------------------------------------------
+
+class TestAddrFacts:
+    def test_param_rooted_send_is_spoof_forward_with_witness(self):
+        facts = _facts_of(
+            "def handle(self, message, src_ip, network):\n"
+            "    tx = network.query(src_ip, self.upstream_ip, message)\n"
+            "    return tx.response\n")
+        kinds = {site.kind for site in facts.addr}
+        assert kinds == {"spoof-forward"}
+        (site,) = facts.addr
+        assert site.hops[0].startswith("src_ip@")
+        assert site.hops[-1].startswith("query@")
+
+    def test_self_rooted_send_is_rewrite_forward(self):
+        facts = _facts_of(
+            "def forward(self, message, network):\n"
+            "    return network.query(self.listen_ip, self.up, message)\n")
+        assert {site.kind for site in facts.addr} == {"rewrite-forward"}
+
+    def test_local_chase_reaches_self_attribute(self):
+        # The source address flows through a local binding; the witness
+        # chain records each hop back to the configured pool.
+        facts = _facts_of(
+            "def send(self, message, network, i):\n"
+            "    egress_ip = self.config.egress_ips[i]\n"
+            "    return network.query(egress_ip, self.up, message)\n")
+        (site,) = [s for s in facts.addr if s.kind == "rewrite-forward"]
+        assert any(hop.startswith("egress_ip@") for hop in site.hops)
+        assert any("self.config.egress_ips" in hop for hop in site.hops)
+
+    def test_two_argument_query_is_not_a_forward(self):
+        facts = _facts_of(
+            "def lookup(self, registry, key):\n"
+            "    return registry.query(key, default=None)\n")
+        assert facts.addr == ()
+
+    def test_log_entry_kwargs_classify_by_origin(self):
+        facts = _facts_of(
+            "def record(self, src_ip, log):\n"
+            "    log.append(QueryLogEntry(qname='q', src_ip=src_ip))\n"
+            "    log.append(QueryLogEntry(qname='q', src_ip=self.vip))\n")
+        kinds = sorted(site.kind for site in facts.addr)
+        assert kinds == ["log-rewrite", "log-source"]
+
+    def test_register_and_register_many_sites(self):
+        facts = _facts_of(
+            "def attach(self, ips, profile):\n"
+            "    self.network.register(self.listen_ip, self, profile)\n"
+            "    self.network.register_many(list(ips), self, profile)\n")
+        kinds = sorted(site.kind for site in facts.addr)
+        assert kinds == ["register", "register-many"]
+
+
+# ---------------------------------------------------------------------------
+# fact extraction: cache identity
+# ---------------------------------------------------------------------------
+
+class TestCacheFacts:
+    def test_cache_binding_is_an_own_site(self):
+        facts = _facts_of(
+            "def __init__(self, cache):\n"
+            "    self.cache = cache\n")
+        (site,) = facts.caches
+        assert site.kind == "own"
+        assert site.attr == "self.cache"
+
+    def test_cache_ish_excludes_counters_and_selectors(self):
+        facts = _facts_of(
+            "def __init__(self, n_caches, cache_selector, cache_id):\n"
+            "    self.n_caches = n_caches\n"
+            "    self.cache_selector = cache_selector\n"
+            "    self.cache_id = cache_id\n")
+        assert facts.caches == ()
+
+    def test_one_cache_into_two_constructions_yields_two_pass_sites(self):
+        facts = _facts_of(
+            "def build(network):\n"
+            "    shared_cache = DnsCache('x')\n"
+            "    a = Front('a', network, shared_cache)\n"
+            "    b = Front('b', network, shared_cache)\n")
+        passes = [s for s in facts.caches if s.kind == "pass"]
+        assert len(passes) == 2
+        assert {s.value for s in passes} == {"shared_cache"}
+
+
+# ---------------------------------------------------------------------------
+# fact extraction: TTL soundness
+# ---------------------------------------------------------------------------
+
+class TestTtlFacts:
+    def test_augmented_add_on_ttl_target_is_an_extend(self):
+        facts = _facts_of(
+            "def remaining(self, now):\n"
+            "    ttl = int(self.expires_at - now)\n"
+            "    ttl += self.grace\n"
+            "    return max(0, ttl)\n")
+        assert {site.kind for site in facts.ttls} == {"extend"}
+
+    def test_max_fold_over_stored_value_is_an_extend(self):
+        facts = _facts_of(
+            "def refresh(self, floor):\n"
+            "    self.ttl = max(self.ttl, floor)\n")
+        assert {site.kind for site in facts.ttls} == {"extend"}
+
+    def test_with_ttl_constant_and_configured_rewrites(self):
+        facts = _facts_of(
+            "def pin(self, record):\n"
+            "    a = record.with_ttl(60)\n"
+            "    b = record.with_ttl(self.pin_to)\n"
+            "    return a, b\n")
+        assert [site.kind for site in sorted(facts.ttls)] == \
+            ["rewrite", "rewrite"]
+
+    def test_decrement_only_arithmetic_is_clean(self):
+        facts = _facts_of(
+            "def remaining(self, now):\n"
+            "    return max(0, int(self.expires_at - now))\n")
+        assert facts.ttls == ()
+
+    def test_with_ttl_of_computed_remaining_is_clean(self):
+        facts = _facts_of(
+            "def aged(self, now):\n"
+            "    return self.rrset.with_ttl(self.remaining_ttl(now))\n")
+        assert facts.ttls == ()
+
+
+# ---------------------------------------------------------------------------
+# component markers and the declaration table
+# ---------------------------------------------------------------------------
+
+class TestComponentContracts:
+    def test_marker_parses_role_and_sorted_attrs(self):
+        markers = parse_component_markers(
+            "# cdelint: component=recursive(shared-cache, owns-cache)\n"
+            "class P:\n    pass\n")
+        ((line, (role, attrs)),) = sorted(markers.items())
+        assert role == "recursive"
+        assert attrs == ("owns-cache", "shared-cache")
+
+    def test_marker_on_line_above_binds_to_the_class(self):
+        source = ("# cdelint: component=cache\n"
+                  "class DnsCache:\n    pass\n")
+        components = module_components(
+            ast.parse(source), parse_component_markers(source))
+        assert components["DnsCache"].role == "cache"
+
+    def test_unmarked_class_is_recorded_with_empty_role(self):
+        components = module_components(
+            ast.parse("class Bare:\n    pass\n"), {})
+        assert components["Bare"].role == ""
+
+    def test_table_declaration_and_precedence(self):
+        table = parse_component_table(
+            ("Legacy=forwarder(rewrites-source)",))
+        assert table["Legacy"] == ("forwarder", ("rewrites-source",))
+        source = ("# cdelint: component=client\n"
+                  "class Legacy:\n    pass\n")
+        components = module_components(
+            ast.parse(source), parse_component_markers(source))
+        role, attrs = effective_contract(components["Legacy"], table)
+        assert role == "client"          # in-source marker wins
+        assert attrs == ()
+
+    def test_malformed_table_entry_raises(self):
+        with pytest.raises(ValueError):
+            parse_component_table(("NoRoleHere",))
+
+    def test_owning_class_handles_nested_qualnames(self):
+        components = {"Platform": None, "Platform.Inner": None}
+        assert owning_class("Platform._resolve.send", components) == \
+            "Platform"
+        assert owning_class("Platform.Inner.run", components) == \
+            "Platform.Inner"
+        assert owning_class("free_function", components) is None
+
+
+# ---------------------------------------------------------------------------
+# the --topology report, through the real CLI
+# ---------------------------------------------------------------------------
+
+class TestTopologyReport:
+    def test_json_is_deterministic_and_includes_the_pilot(self):
+        first = run_cli("--topology", "--no-cache", "--json", "src")
+        second = run_cli("--topology", "--no-cache", "--json", "src")
+        assert first.returncode == 0, first.stderr
+        assert first.stdout == second.stdout
+        doc = json.loads(first.stdout)
+        assert doc["schema_version"] == TOPOLOGY_SCHEMA_VERSION
+        assert doc["tool"] == "cdetopo"
+        by_name = {c["component"]: c for c in doc["components"]}
+        pilot = by_name["TransparentForwarder"]
+        assert pilot["role"] == "transparent-forwarder"
+        assert pilot["attrs"] == ["spoofs-source"]
+        assert pilot["forwards"] == ["spoof-forward"]
+        assert pilot["ingress"] and pilot["egress"]
+        assert pilot["caches"] == []
+        platform = by_name["ResolutionPlatform"]
+        assert platform["shares_ingress"]
+        assert "self.caches" in platform["caches"]
+
+    def test_human_table_lists_components(self):
+        result = run_cli("--topology", "--no-cache", "src")
+        assert result.returncode == 0, result.stderr
+        assert "TransparentForwarder" in result.stdout
+        assert "component(s)" in result.stdout
+
+    def test_sarif_format_is_rejected(self):
+        result = run_cli("--topology", "--format", "sarif", "src")
+        assert result.returncode == 2
+        assert "no SARIF form" in result.stderr
+
+
+# ---------------------------------------------------------------------------
+# the --explain resolver
+# ---------------------------------------------------------------------------
+
+class TestExplainResolution:
+    def test_bare_number_resolves(self):
+        result = run_cli("--explain", "20")
+        assert result.returncode == 0
+        assert result.stdout.startswith("CDE020  address-provenance")
+
+    def test_rule_name_slug_resolves(self):
+        result = run_cli("--explain", "cache-identity")
+        assert result.returncode == 0
+        assert result.stdout.startswith("CDE021")
+
+    def test_underscored_slug_resolves(self):
+        result = run_cli("--explain", "ttl_soundness")
+        assert result.returncode == 0
+        assert result.stdout.startswith("CDE022")
+
+    def test_unknown_token_is_a_usage_error(self):
+        result = run_cli("--explain", "no-such-rule")
+        assert result.returncode == 2
+        assert "unknown rule id" in result.stderr
+
+
+# ---------------------------------------------------------------------------
+# mutation tests against the real tree (the acceptance gate)
+# ---------------------------------------------------------------------------
+
+def _copy_src(tmp_path: Path) -> Path:
+    target = tmp_path / "src"
+    shutil.copytree(SRC / "repro", target / "repro")
+    return target
+
+
+def _mutate(path: Path, old: str, new: str) -> None:
+    text = path.read_text()
+    assert text.count(old) == 1, f"expected unique mutation site in {path}"
+    path.write_text(text.replace(old, new))
+
+
+class TestMutations:
+    def test_clean_tree_is_clean_cold_and_warm(self, tmp_path):
+        root = _copy_src(tmp_path)
+        cache_dir = tmp_path / "cache"
+        args = ("--no-config", "--cache-dir", str(cache_dir),
+                "--select", "CDE020,CDE021,CDE022", "--json", str(root))
+        cold = run_cli(*args)
+        warm = run_cli(*args)
+        assert cold.returncode == 0, cold.stdout + cold.stderr
+        assert cold.stdout == warm.stdout
+        assert json.loads(cold.stdout)["findings"] == []
+
+    def test_deleting_the_pilot_marker_fires_cde020_with_witness(
+            self, tmp_path):
+        root = _copy_src(tmp_path)
+        _mutate(root / "repro/resolver/forwarder.py",
+                "# cdelint: component=transparent-forwarder(spoofs-source)\n",
+                "")
+        result = run_cli("--no-config", "--no-cache",
+                         "--select", "CDE020", "--json", str(root))
+        assert result.returncode == 1, result.stdout + result.stderr
+        findings = json.loads(result.stdout)["findings"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding["rule"] == "CDE020"
+        assert finding["path"].endswith("repro/resolver/forwarder.py")
+        assert "TransparentForwarder" in finding["message"]
+        assert "src_ip@" in finding["message"]      # the witness chain
+        assert "query@" in finding["message"]
+
+    def test_cache_aliasing_fires_cde021_exactly_once(self, tmp_path):
+        root = _copy_src(tmp_path)
+        (root / "repro/resolver/alias_world.py").write_text(
+            '"""World builder that aliases one cache across two fronts."""\n'
+            "\n"
+            "from ..cache.cache import DnsCache\n"
+            "from .forwarder import ForwardingResolver\n"
+            "\n"
+            "\n"
+            "def build_pair(network):\n"
+            "    shared_cache = DnsCache('shared', 64, 60)\n"
+            "    first = ForwardingResolver('a', '10.0.0.1', ['10.9.0.1'],\n"
+            "                               network, cache=shared_cache)\n"
+            "    second = ForwardingResolver('b', '10.0.0.2', ['10.9.0.1'],\n"
+            "                                network, cache=shared_cache)\n"
+            "    return first, second\n")
+        result = run_cli("--no-config", "--no-cache",
+                         "--select", "CDE021", "--json", str(root))
+        assert result.returncode == 1, result.stdout + result.stderr
+        findings = json.loads(result.stdout)["findings"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding["rule"] == "CDE021"
+        assert "shared_cache" in finding["message"]
+        assert "2 component constructions" in finding["message"]
+
+    def test_serve_stale_grace_fires_cde022(self, tmp_path):
+        root = _copy_src(tmp_path)
+        _mutate(root / "repro/cache/entry.py",
+                "        return max(0, int(self.expires_at - now))",
+                "        ttl = int(self.expires_at - now)\n"
+                "        ttl += 30  # serve-stale grace\n"
+                "        return max(0, ttl)")
+        result = run_cli("--no-config", "--no-cache",
+                         "--select", "CDE022", "--json", str(root))
+        assert result.returncode == 1, result.stdout + result.stderr
+        findings = json.loads(result.stdout)["findings"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding["rule"] == "CDE022"
+        assert finding["path"].endswith("repro/cache/entry.py")
+        assert "'ttl'" in finding["message"]
+
+    def test_grace_policy_in_policy_copy_fires_cde022(self, tmp_path):
+        root = _copy_src(tmp_path)
+        policy = root / "repro/cache/policy.py"
+        policy.write_text(
+            policy.read_text()
+            + "\n\ndef apply_grace(entry, grace):\n"
+              "    entry.ttl += grace\n"
+              "    return entry\n")
+        result = run_cli("--no-config", "--no-cache",
+                         "--select", "CDE022", "--json", str(root))
+        assert result.returncode == 1, result.stdout + result.stderr
+        findings = json.loads(result.stdout)["findings"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding["path"].endswith("repro/cache/policy.py")
+        assert "entry.ttl" in finding["message"]
+
+    def test_mutated_tree_reports_byte_identically_cold_and_warm(
+            self, tmp_path):
+        root = _copy_src(tmp_path)
+        _mutate(root / "repro/resolver/forwarder.py",
+                "# cdelint: component=transparent-forwarder(spoofs-source)\n",
+                "")
+        cache_dir = tmp_path / "cache"
+        args = ("--no-config", "--cache-dir", str(cache_dir),
+                "--select", "CDE020,CDE021,CDE022", "--json", str(root))
+        cold = run_cli(*args)
+        warm = run_cli(*args)
+        assert cold.returncode == warm.returncode == 1
+        assert cold.stdout == warm.stdout
